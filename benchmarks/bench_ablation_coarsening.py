@@ -1,0 +1,52 @@
+"""Ablation — coarsening-factor sensitivity (Sec. VIII-C: "performance is
+not very sensitive to the coarsening factor provided it is sufficiently
+large")."""
+
+from repro.benchmarks import get_benchmark
+from repro.harness import TuningParams, geomean, run_variant
+
+from conftest import save
+
+FACTORS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _sweep(scale):
+    bench = get_benchmark("MSTF")
+    data = bench.build_dataset("KRON", scale)
+    cdp = run_variant(bench, data, "CDP")
+    rows = []
+    for factor in FACTORS:
+        params = TuningParams(threshold=32, coarsen_factor=factor,
+                              granularity="block")
+        result = run_variant(bench, data, "CDP+T+C+A", params)
+        rows.append((factor, result.total_time,
+                     cdp.total_time / result.total_time))
+    return rows
+
+
+def test_coarsening_factor_insensitivity(benchmark, repro_scale, out_dir):
+    rows = benchmark.pedantic(_sweep, args=(repro_scale,),
+                              rounds=1, iterations=1)
+    lines = ["Ablation: coarsening factor (MSTF/KRON, T=32, A=block)",
+             "%-8s %12s %9s" % ("factor", "sim. cycles", "speedup")]
+    for factor, time, speedup in rows:
+        lines.append("%-8d %12d %8.2fx" % (factor, time, speedup))
+    text = "\n".join(lines)
+    save(out_dir, "ablation_coarsening.txt", text)
+    print()
+    print(text)
+
+    # Factors >= 8 should sit within a narrow band of each other.
+    large = [speedup for factor, _, speedup in rows if factor >= 8]
+    assert max(large) / min(large) < 1.5
+
+
+def test_transform_compile_speed(benchmark):
+    """Compiler throughput: full T+C+A pipeline on the MSTF source."""
+    from repro.transforms import OptConfig, transform
+    bench = get_benchmark("MSTF")
+    source = bench.cdp_source()
+    config = OptConfig(threshold=32, coarsen_factor=8,
+                       aggregate="multiblock")
+    result = benchmark(transform, source, config)
+    assert result.meta.agg_specs

@@ -1,0 +1,44 @@
+"""Ablation — multi-block group size sweep (DESIGN.md: the paper's claim is
+that multi-block granularity fills the gap between block and grid
+granularity; this bench maps that trade-off space explicitly)."""
+
+from repro.benchmarks import get_benchmark
+from repro.harness import TuningParams, run_variant
+
+from conftest import save
+
+GROUPS = (1, 2, 4, 8, 16, 32)
+
+
+def _sweep(scale):
+    bench = get_benchmark("BFS")
+    data = bench.build_dataset("KRON", scale)
+    cdp = run_variant(bench, data, "CDP")
+    rows = []
+    for group in GROUPS:
+        params = TuningParams(threshold=32, granularity="multiblock",
+                              group_blocks=group)
+        result = run_variant(bench, data, "CDP+T+A", params)
+        rows.append((group, result.total_time,
+                     cdp.total_time / result.total_time))
+    grid = run_variant(bench, data, "CDP+T+A",
+                       TuningParams(threshold=32, granularity="grid"))
+    rows.append(("grid", grid.total_time,
+                 cdp.total_time / grid.total_time))
+    return rows
+
+
+def test_group_size_tradeoff(benchmark, repro_scale, out_dir):
+    rows = benchmark.pedantic(_sweep, args=(repro_scale,),
+                              rounds=1, iterations=1)
+    lines = ["Ablation: multi-block group size (BFS/KRON, T=32)",
+             "%-8s %12s %9s" % ("group", "sim. cycles", "speedup")]
+    for group, time, speedup in rows:
+        lines.append("%-8s %12d %8.2fx" % (group, time, speedup))
+    text = "\n".join(lines)
+    save(out_dir, "ablation_granularity.txt", text)
+    print()
+    print(text)
+
+    # group=1 must reproduce block granularity; all points must be valid.
+    assert all(speedup > 0 for _, _, speedup in rows)

@@ -1,0 +1,32 @@
+"""Figure 10 — execution-time breakdown of KLAP vs CDP+T+A vs CDP+T+C+A,
+normalized to the KLAP total (Sec. VIII-B)."""
+
+from repro.harness import figure10
+
+from conftest import save
+
+PAIRS = (("BFS", "KRON"), ("BFS", "CNR"), ("SSSP", "KRON"),
+         ("MSTF", "KRON"), ("SP", "RAND-3"), ("BT", "T0032-C16"))
+
+
+def test_figure10(benchmark, repro_scale, out_dir):
+    fig = benchmark.pedantic(
+        figure10, kwargs={"scale": repro_scale, "pairs": PAIRS},
+        rounds=1, iterations=1)
+    text = fig.format()
+    save(out_dir, "figure10.txt", text)
+    print()
+    print(text)
+
+    for pair, by_label in fig.rows.items():
+        klap = by_label["KLAP (CDP+A)"]
+        t_a = by_label["CDP+T+A"]
+        t_c_a = by_label["CDP+T+C+A"]
+        # Observation 1: thresholding increases parent work, decreases child.
+        assert t_a["parent"] >= klap["parent"], pair
+        assert t_a["child"] <= klap["child"] + 0.05, pair
+        # Observation 2: thresholding decreases agg/launch/disagg overheads.
+        assert t_a["agg"] <= klap["agg"] + 1e-9, pair
+        assert t_a["disagg"] <= klap["disagg"], pair
+        # Observation 3+4: coarsening decreases disaggregation further.
+        assert t_c_a["disagg"] <= t_a["disagg"] * 1.1, pair

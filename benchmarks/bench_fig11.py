@@ -1,0 +1,40 @@
+"""Figure 11 — speedup vs launch threshold for each aggregation granularity
+(Sec. VIII-C), one panel per benchmark like the paper's seven plots."""
+
+import pytest
+
+from repro.harness import figure11
+
+from conftest import save
+
+#: (benchmark, dataset, coarsening factor) — the paper's Fig. 11 panels,
+#: with each panel's fixed (best) coarsening factor.
+PANELS = (
+    ("BFS", "KRON", 16),
+    ("BT", "T2048-C64", 2),
+    ("MSTF", "KRON", 32),
+    ("MSTV", "KRON", 1),
+    ("SSSP", "KRON", 8),
+    ("TC", "KRON", 32),
+    ("SP", "5-SAT", 32),
+)
+
+
+@pytest.mark.parametrize("bench_name,dataset,cfactor", PANELS)
+def test_figure11_panel(benchmark, repro_scale, out_dir, bench_name,
+                        dataset, cfactor):
+    fig = benchmark.pedantic(
+        figure11, args=(bench_name, dataset),
+        kwargs={"scale": repro_scale, "coarsen_factor": cfactor},
+        rounds=1, iterations=1)
+    text = fig.format()
+    save(out_dir, "figure11_%s_%s.txt" % (bench_name, dataset), text)
+    print()
+    print(text)
+
+    # Observation 1 (most benchmarks): increasing the threshold initially
+    # improves performance over no thresholding, for the best granularity.
+    best_series = max(fig.series.values(),
+                      key=lambda points: max(points.values()))
+    baseline = best_series[None]
+    assert max(best_series.values()) >= baseline * 0.95

@@ -1,0 +1,24 @@
+"""Figure 12 — graph benchmarks on a road graph: low nested parallelism
+(Sec. VIII-D)."""
+
+from repro.harness import figure12
+
+from conftest import save
+
+
+def test_figure12(benchmark, repro_scale, out_dir):
+    fig = benchmark.pedantic(figure12, kwargs={"scale": repro_scale},
+                             rounds=1, iterations=1)
+    text = fig.format()
+    save(out_dir, "figure12.txt", text)
+    print()
+    print(text)
+
+    gm = fig.geomeans()
+    # CDP performs substantially worse than No CDP on road graphs...
+    assert gm["No CDP"] > 2.0
+    # ...the optimizations recover much of the degradation...
+    assert gm["CDP+T+C+A"] > 1.5
+    # ...but CDP+T cannot fully recover: the mere existence of the launch
+    # costs extra instructions (the cdp_code_tax in our cost model).
+    assert gm["CDP+T"] <= gm["No CDP"] * 1.05

@@ -1,0 +1,26 @@
+"""Figure 9 — speedup of every optimization combination over CDP, for all
+benchmark/dataset pairs, with per-variant tuning (Sec. VIII-A)."""
+
+from repro.harness import figure9
+
+from conftest import save
+
+
+def test_figure9(benchmark, repro_scale, out_dir):
+    fig = benchmark.pedantic(figure9, kwargs={"scale": repro_scale},
+                             rounds=1, iterations=1)
+    text = fig.format()
+    save(out_dir, "figure9.txt", text)
+    print()
+    print(text)
+
+    gm = fig.geomeans()
+    # The paper's headline relationships (shapes, not magnitudes):
+    assert gm["CDP+T+C+A"] > 1.0                      # beats CDP
+    assert gm["CDP+T+C+A"] > gm["No CDP"]             # beats No CDP
+    assert gm["CDP+T+C+A"] > gm["KLAP (CDP+A)"]       # beats prior work
+    assert gm["KLAP (CDP+A)"] > 1.0                   # aggregation recovers
+    assert gm["CDP+T"] > 1.0                          # thresholding alone
+    assert 0.8 < gm["CDP+C"] < 1.6                    # coarsening ~neutral
+    assert gm["CDP+T+A"] >= gm["KLAP (CDP+A)"]        # T helps over A
+    assert gm["CDP+T+C+A"] >= gm["CDP+T+A"] * 0.98    # C synergy with A

@@ -1,0 +1,15 @@
+"""Table I — benchmark/dataset inventory (dataset construction cost)."""
+
+from repro.harness import table1
+
+from conftest import save
+
+
+def test_table1(benchmark, repro_scale, out_dir):
+    result = benchmark.pedantic(table1, args=(repro_scale,),
+                                rounds=1, iterations=1)
+    text = result.format()
+    save(out_dir, "table1.txt", text)
+    print()
+    print(text)
+    assert len(result.rows) == 15

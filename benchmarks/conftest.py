@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one table or figure of the paper and writes the
+formatted result to ``benchmarks/out/``. Scales are chosen so the full
+suite completes in minutes on a laptop; pass ``--repro-scale`` to raise
+them (EXPERIMENTS.md records runs at scale 0.5).
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-scale", action="store", type=float,
+                     default=0.35,
+                     help="dataset scale for figure regeneration benches "
+                          "(EXPERIMENTS.md records runs at this default)")
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+def save(out_dir, name, text):
+    path = os.path.join(out_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Execution-time breakdown (Fig. 10 style) for one benchmark.
+
+Shows where cycles go — parent work, child work, launch overhead,
+aggregation and disaggregation logic — and how thresholding and coarsening
+shift the balance: thresholding moves child work into parents and shrinks
+every launch-related component; coarsening amortizes disaggregation.
+
+Run:  python examples/breakdown.py [BENCHMARK] [DATASET] [scale]
+"""
+
+import sys
+
+from repro.benchmarks import get_benchmark
+from repro.harness import TuningParams, run_variant
+
+VARIANTS = (
+    ("KLAP (CDP+A)", TuningParams(granularity="block")),
+    ("CDP+T+A", TuningParams(threshold=32, granularity="block")),
+    ("CDP+T+C+A", TuningParams(threshold=32, coarsen_factor=8,
+                               granularity="block")),
+)
+
+
+def main():
+    bench_name = sys.argv[1] if len(sys.argv) > 1 else "BFS"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "KRON"
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    bench = get_benchmark(bench_name)
+    data = bench.build_dataset(dataset, scale)
+    print("%s on %s" % (bench.name, data))
+
+    base_total = None
+    print("\n%-14s %8s %8s %8s %8s %8s %8s" % (
+        "variant", "parent", "child", "launch", "agg", "disagg", "total"))
+    print("-" * 68)
+    for label, params in VARIANTS:
+        result = run_variant(bench, data, label, params)
+        total = sum(result.breakdown.values())
+        if base_total is None:
+            base_total = total
+        row = {k: v / base_total for k, v in result.breakdown.items()}
+        print("%-14s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f" % (
+            label, row["parent"], row["child"], row["launch"],
+            row["agg"], row["disagg"], total / base_total))
+    print("\n(normalized to the KLAP (CDP+A) total, like the paper's "
+          "Fig. 10)")
+
+
+if __name__ == "__main__":
+    main()

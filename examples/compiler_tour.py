@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""A tour of the compiler internals on a single launch site.
+
+Walks the same pipeline the paper's Fig. 8(a) shows — thresholding, then
+coarsening, then aggregation — printing the source after each pass, plus
+the Fig. 4 thread-count analysis result that thresholding depends on.
+
+Run:  python examples/compiler_tour.py
+"""
+
+from repro import parse, print_source
+from repro.analysis import analyze_kernel, find_launch_sites, \
+    find_thread_count
+from repro.minicuda.printer import print_expr
+from repro.transforms import (AggregationPass, CoarseningPass,
+                              ThresholdingPass)
+from repro.analysis import NameAllocator
+
+SOURCE = """
+__global__ void child(float *x, float *y, int start, int count) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < count) {
+        y[start + tid] = 2.0f * x[start + tid] + 1.0f;
+    }
+}
+
+__global__ void parent(int *offsets, float *x, float *y, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        int start = offsets[tid];
+        int count = offsets[tid + 1] - start;
+        if (count > 0) {
+            child<<<(count + 63) / 64, 64>>>(x, y, start, count);
+        }
+    }
+}
+"""
+
+
+def banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    program = parse(SOURCE)
+
+    banner("Static analysis")
+    site = find_launch_sites(program)[0]
+    props = analyze_kernel(program, "child")
+    print("launch site: %s -> %s" % (site.parent.name, site.child_name))
+    print("child thresholdable (Sec. III-C): %s" % props.thresholdable)
+    analysis = find_thread_count(site.launch.grid)
+    print("Fig. 4 desired thread count: %s (exact=%s)"
+          % (print_expr(analysis.count_expr), analysis.exact))
+
+    allocator = NameAllocator.for_program(program)
+
+    banner("After thresholding (Fig. 3)")
+    ThresholdingPass(threshold=128).run(program, allocator)
+    print(print_source(program))
+
+    banner("After coarsening (Fig. 6)")
+    CoarseningPass(factor=4).run(program, allocator)
+    print(print_source(program))
+
+    banner("After multi-block aggregation (Fig. 7)")
+    AggregationPass("multiblock", group_blocks=8).run(program, allocator)
+    print(print_source(program))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""BFS on a Kronecker graph across all optimization combinations.
+
+Reproduces one column of the paper's Fig. 9 interactively: for each variant
+the benchmark's outputs are checked against the No-CDP reference and the
+simulated time and speedup over plain CDP are reported.
+
+Run:  python examples/graph_traversal.py [scale]
+"""
+
+import sys
+
+from repro.benchmarks import get_benchmark
+from repro.harness import TuningParams, run_variant
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    bench = get_benchmark("BFS")
+    graph = bench.build_dataset("KRON", scale)
+    print("graph:", graph)
+
+    reference = run_variant(bench, graph, "No CDP", keep_outputs=True)
+    cdp = run_variant(bench, graph, "CDP",
+                      check_against=reference.outputs)
+
+    params = TuningParams(threshold=32, coarsen_factor=8,
+                          granularity="multiblock", group_blocks=8)
+    print("\n%-14s %-28s %12s %9s" % ("variant", "parameters",
+                                      "sim. cycles", "speedup"))
+    print("-" * 68)
+    rows = [
+        ("No CDP", TuningParams()),
+        ("CDP", TuningParams()),
+        ("KLAP (CDP+A)", TuningParams(granularity="block")),
+        ("CDP+T", TuningParams(threshold=32)),
+        ("CDP+T+C", TuningParams(threshold=32, coarsen_factor=8)),
+        ("CDP+T+A", TuningParams(threshold=32, granularity="multiblock")),
+        ("CDP+T+C+A", params),
+    ]
+    for label, row_params in rows:
+        result = run_variant(bench, graph, label, row_params,
+                             check_against=reference.outputs)
+        print("%-14s %-28s %12d %8.2fx" % (
+            label, row_params.describe(), result.total_time,
+            cdp.total_time / result.total_time))
+    print("\nall variants produced identical BFS distances")
+
+
+if __name__ == "__main__":
+    main()

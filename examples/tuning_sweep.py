@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Threshold/granularity sweep for one benchmark — a live Fig. 11 panel.
+
+Shows the paper's three observations (Sec. VIII-C): speedup first rises
+with the threshold, then falls once large child grids get serialized; and
+the best aggregation granularity is benchmark-dependent.
+
+Run:  python examples/tuning_sweep.py [BENCHMARK] [DATASET] [scale]
+      python examples/tuning_sweep.py SSSP KRON 0.25
+"""
+
+import sys
+
+from repro.harness import figure11
+
+
+def main():
+    bench = sys.argv[1] if len(sys.argv) > 1 else "BFS"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "KRON"
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    fig = figure11(bench, dataset, scale=scale)
+    print(fig.format())
+
+    best = None
+    for granularity, points in fig.series.items():
+        for threshold, speedup in points.items():
+            if best is None or speedup > best[2]:
+                best = (granularity, threshold, speedup)
+    print("\nbest point: granularity=%s threshold=%s -> %.2fx over CDP"
+          % best)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a Python reproduction of "A Compiler Framework for Optimizing
+Dynamic Parallelism on GPUs" (Olabi et al., CGO 2022).
+
+The package implements the paper's three source-to-source optimizations —
+**thresholding**, **coarsening**, and **multi-block-granularity
+aggregation** — over a CUDA-C subset (miniCUDA), plus everything needed to
+evaluate them without a GPU: an execution engine that transpiles kernels to
+Python and runs them on real data, a timing simulator with a dynamic-launch
+congestion model, the paper's seven benchmarks, and a harness that
+regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import OptConfig, transform
+
+    result = transform(cuda_source, OptConfig.from_label("CDP+T+C+A"))
+    print(result.source)               # the transformed .cu text
+
+    from repro.benchmarks import get_benchmark
+    bench = get_benchmark("BFS")
+    data = bench.build_dataset("KRON", scale=0.25)
+    outputs, timing, device = bench.run(data, "cdp", config)
+"""
+
+from .engine import Dim3, Module, Ptr
+from .errors import (AnalysisError, CodegenError, LexError, NotTransformable,
+                     ParseError, ReproError, RuntimeLaunchError,
+                     SimulationError, TransformError)
+from .minicuda import parse, print_source
+from .runtime import Device, blocks
+from .sim import (Breakdown, CostModel, DeviceConfig, Trace, breakdown,
+                  simulate)
+from .transforms import (AggregationPass, CoarseningPass, OptConfig,
+                         ThresholdingPass, TransformResult, transform)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dim3", "Module", "Ptr",
+    "AnalysisError", "CodegenError", "LexError", "NotTransformable",
+    "ParseError", "ReproError", "RuntimeLaunchError", "SimulationError",
+    "TransformError",
+    "parse", "print_source",
+    "Device", "blocks",
+    "Breakdown", "CostModel", "DeviceConfig", "Trace", "breakdown",
+    "simulate",
+    "AggregationPass", "CoarseningPass", "OptConfig", "ThresholdingPass",
+    "TransformResult", "transform",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Static analyses supporting the transformation passes."""
+
+from .ceiling_div import ThreadCountResult, expr_equal, find_thread_count
+from .kernel_props import (KernelProperties, analyze_kernel, analyze_program)
+from .launch_sites import (LaunchSite, child_kernels, find_launch_sites,
+                           is_recursive, parent_child_pairs, resolve_child)
+from .symbols import (INTRINSIC_FUNCTIONS, RESERVED_IDENTS, NameAllocator,
+                      SymbolTable, declared_names, used_names)
+
+__all__ = [
+    "ThreadCountResult", "expr_equal", "find_thread_count",
+    "KernelProperties", "analyze_kernel", "analyze_program",
+    "LaunchSite", "child_kernels", "find_launch_sites", "is_recursive",
+    "parent_child_pairs", "resolve_child",
+    "INTRINSIC_FUNCTIONS", "RESERVED_IDENTS", "NameAllocator", "SymbolTable",
+    "declared_names", "used_names",
+]

@@ -1,0 +1,141 @@
+"""Desired-thread-count recovery from grid-dimension expressions (Fig. 4).
+
+Programmers compute the grid dimension as a ceiling division of the desired
+number of threads ``N`` by the block dimension ``b``. The paper's heuristic
+(Sec. III-D): find the division, take its left-hand subexpression, strip
+additions/subtractions of constants (and of the divisor itself, which covers
+``(N + b - 1)/b``), and treat what remains as ``N``.
+
+The heuristic is deliberately best-effort — a miss only means the thresholding
+pass compares ``gridDim * blockDim`` against the threshold instead, which
+never affects correctness (Sec. III-D).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..minicuda import ast
+
+
+def expr_equal(a, b):
+    """Structural equality of two expressions (literal text ignored)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.IntLit):
+        return a.value == b.value
+    if isinstance(a, ast.FloatLit):
+        return a.value == b.value
+    if isinstance(a, ast.BoolLit):
+        return a.value == b.value
+    if isinstance(a, ast.Ident):
+        return a.name == b.name
+    if isinstance(a, ast.Member):
+        return a.attr == b.attr and expr_equal(a.obj, b.obj)
+    if isinstance(a, ast.Index):
+        return expr_equal(a.base, b.base) and expr_equal(a.index, b.index)
+    if isinstance(a, ast.Unary):
+        return (a.op == b.op and a.postfix == b.postfix
+                and expr_equal(a.operand, b.operand))
+    if isinstance(a, ast.Binary):
+        return (a.op == b.op and expr_equal(a.lhs, b.lhs)
+                and expr_equal(a.rhs, b.rhs))
+    if isinstance(a, ast.Assign):
+        return (a.op == b.op and expr_equal(a.target, b.target)
+                and expr_equal(a.value, b.value))
+    if isinstance(a, ast.Ternary):
+        return (expr_equal(a.cond, b.cond) and expr_equal(a.then, b.then)
+                and expr_equal(a.orelse, b.orelse))
+    if isinstance(a, ast.Cast):
+        return a.type.name == b.type.name and expr_equal(a.operand, b.operand)
+    if isinstance(a, ast.Call):
+        return (expr_equal(a.func, b.func) and len(a.args) == len(b.args)
+                and all(expr_equal(x, y) for x, y in zip(a.args, b.args)))
+    return False
+
+
+def _is_constant(expr):
+    """Literals and unary +/- of literals count as constants to strip."""
+    if isinstance(expr, (ast.IntLit, ast.FloatLit)):
+        return True
+    if isinstance(expr, ast.Unary) and expr.op in ("-", "+"):
+        return _is_constant(expr.operand)
+    return False
+
+
+def _strip_cast(expr):
+    while isinstance(expr, ast.Cast):
+        expr = expr.operand
+    return expr
+
+
+def _strip_constant_terms(expr, divisor):
+    """Peel top-level additions/subtractions of constants (and of the
+    divisor itself) off *expr*, per the paper's heuristic.
+
+    Stripping happens only at the top of the tree so that compound counts
+    such as ``end - start`` in ``(end - start + 127) / 128`` survive as one
+    subexpression.
+    """
+    while True:
+        expr = _strip_cast(expr)
+        if not (isinstance(expr, ast.Binary) and expr.op in ("+", "-")):
+            return expr
+        rhs = _strip_cast(expr.rhs)
+        lhs = _strip_cast(expr.lhs)
+        if _is_constant(rhs) or expr_equal(rhs, divisor):
+            expr = expr.lhs
+            continue
+        if expr.op == "+" and (_is_constant(lhs) or expr_equal(lhs, divisor)):
+            expr = expr.rhs
+            continue
+        return expr
+
+
+def _first_division(expr):
+    """The outermost-leftmost integer/float division in pre-order."""
+    for node in expr.walk():
+        if isinstance(node, ast.Binary) and node.op == "/":
+            return node
+    return None
+
+
+@dataclass
+class ThreadCountResult:
+    """Outcome of the Fig. 4 analysis on one grid-dimension expression.
+
+    ``count_expr`` is the AST node (by identity, inside the launch's grid
+    expression) holding the desired thread count — the thresholding pass
+    replaces this exact node with ``_threads`` so that side-effecting
+    expressions are not duplicated. ``exact`` is False when the analysis fell
+    back to ``grid * block``.
+    """
+
+    count_expr: Optional[ast.Expr]
+    exact: bool
+    division: Optional[ast.Binary] = None
+
+
+def _grid_x_expr(grid):
+    """For dim3(...) grids (Fig. 4f) analyze the x-dimension argument."""
+    if (isinstance(grid, ast.Call) and isinstance(grid.func, ast.Ident)
+            and grid.func.name == "dim3" and grid.args):
+        return grid.args[0]
+    return grid
+
+
+def find_thread_count(grid_expr):
+    """Apply the paper's heuristic to a launch grid expression.
+
+    Returns a :class:`ThreadCountResult`; ``count_expr`` is None when no
+    division was found or stripping did not leave exactly one
+    non-constant term.
+    """
+    expr = _grid_x_expr(grid_expr)
+    division = _first_division(expr)
+    if division is None:
+        return ThreadCountResult(None, False)
+    divisor = _strip_cast(division.rhs)
+    count = _strip_constant_terms(division.lhs, divisor)
+    if _is_constant(count) or expr_equal(count, divisor):
+        return ThreadCountResult(None, False, division)
+    return ThreadCountResult(count, True, division)

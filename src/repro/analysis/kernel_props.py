@@ -1,0 +1,115 @@
+"""Kernel legality and shape analysis.
+
+Section III-C of the paper: a child kernel is *not* transformable by
+thresholding when it (1) synchronizes across threads via ``__syncthreads()``
+or warp-level primitives, or (2) uses ``__shared__`` memory. This module
+computes those properties plus the dimensionality information the
+transformations need (which of ``.x/.y/.z`` a kernel actually uses).
+"""
+
+from dataclasses import dataclass, field
+
+from ..minicuda import ast
+from ..minicuda.visitor import find_all
+
+#: Calls that constitute a barrier across threads of a block.
+BARRIER_FUNCTIONS = frozenset({"__syncthreads", "__threadfence_block"})
+
+#: Warp-level primitives (any use blocks serialization, Sec. III-C).
+WARP_PRIMITIVES = frozenset({
+    "__syncwarp", "__shfl_sync", "__shfl_up_sync", "__shfl_down_sync",
+    "__shfl_xor_sync", "__ballot_sync", "__any_sync", "__all_sync",
+    "__activemask", "__match_any_sync",
+})
+
+
+@dataclass
+class KernelProperties:
+    """Static facts about one kernel needed by the transformation passes."""
+
+    name: str
+    uses_barrier: bool = False
+    uses_warp_primitives: bool = False
+    uses_shared_memory: bool = False
+    launches: list = field(default_factory=list)
+    dims_used: frozenset = frozenset()
+
+    @property
+    def thresholdable(self):
+        """Sec. III-C: serializable in the parent thread?"""
+        return not (self.uses_barrier or self.uses_warp_primitives
+                    or self.uses_shared_memory)
+
+    @property
+    def is_multidimensional(self):
+        return bool(self.dims_used - {"x"})
+
+
+def _called_names(func):
+    names = set()
+    for call in find_all(func, ast.Call):
+        if isinstance(call.func, ast.Ident):
+            names.add(call.func.name)
+    return names
+
+
+def dims_used(func):
+    """Which dimensions of the reserved index variables the kernel reads."""
+    dims = set()
+    for member in find_all(func, ast.Member):
+        if (isinstance(member.obj, ast.Ident)
+                and member.obj.name in ("threadIdx", "blockIdx",
+                                        "blockDim", "gridDim")
+                and member.attr in ("x", "y", "z")):
+            dims.add(member.attr)
+    return frozenset(dims)
+
+
+_dims_used = dims_used
+
+
+def analyze_kernel(program, kernel, _seen=None):
+    """Compute :class:`KernelProperties` for *kernel*.
+
+    Properties are transitive through ``__device__`` helper calls: a kernel
+    that calls a device function which calls ``__syncthreads()`` is itself a
+    barrier user.
+    """
+    if isinstance(kernel, str):
+        kernel = program.function(kernel)
+    seen = _seen if _seen is not None else set()
+    seen.add(kernel.name)
+
+    called = _called_names(kernel)
+    props = KernelProperties(
+        name=kernel.name,
+        uses_barrier=bool(called & BARRIER_FUNCTIONS),
+        uses_warp_primitives=bool(called & WARP_PRIMITIVES),
+        uses_shared_memory=_uses_shared(kernel),
+        launches=find_all(kernel, ast.Launch),
+        dims_used=_dims_used(kernel),
+    )
+
+    function_names = {f.name for f in program.functions()}
+    for name in called & function_names:
+        if name in seen:
+            continue
+        callee_props = analyze_kernel(program, name, seen)
+        props.uses_barrier |= callee_props.uses_barrier
+        props.uses_warp_primitives |= callee_props.uses_warp_primitives
+        props.uses_shared_memory |= callee_props.uses_shared_memory
+        props.dims_used |= callee_props.dims_used
+    return props
+
+
+def _uses_shared(func):
+    for decl_stmt in find_all(func, ast.DeclStmt):
+        for decl in decl_stmt.decls:
+            if decl.is_shared:
+                return True
+    return False
+
+
+def analyze_program(program):
+    """Map kernel name → :class:`KernelProperties` for every kernel."""
+    return {k.name: analyze_kernel(program, k) for k in program.kernels()}

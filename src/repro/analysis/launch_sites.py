@@ -1,0 +1,88 @@
+"""Discovery of dynamic launch sites and the parent→child kernel relation."""
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..minicuda import ast
+from ..minicuda.visitor import find_all
+
+
+@dataclass
+class LaunchSite:
+    """One ``child<<<g, b>>>(args)`` occurrence inside a device-side parent."""
+
+    parent: ast.FunctionDef
+    launch: ast.Launch
+
+    @property
+    def child_name(self):
+        return self.launch.kernel
+
+
+def find_launch_sites(program, include_host=False):
+    """All launch sites in the program.
+
+    By default only *dynamic* launches are returned — launches written inside
+    ``__global__`` or ``__device__`` functions. Host functions launch from the
+    CPU and are not subject to the paper's optimizations.
+    """
+    sites = []
+    for func in program.functions():
+        if func.body is None:
+            continue
+        device_side = func.is_kernel or func.is_device
+        if not device_side and not include_host:
+            continue
+        for launch in find_all(func, ast.Launch):
+            sites.append(LaunchSite(func, launch))
+    return sites
+
+
+def child_kernels(program):
+    """Names of kernels that are launched dynamically at least once."""
+    return {site.child_name for site in find_launch_sites(program)}
+
+
+def resolve_child(program, site):
+    """The FunctionDef of the kernel a launch site targets."""
+    try:
+        child = program.function(site.child_name)
+    except KeyError:
+        raise AnalysisError(
+            "launch of undefined kernel %r in %r"
+            % (site.child_name, site.parent.name))
+    if not child.is_kernel:
+        raise AnalysisError(
+            "launch target %r is not __global__" % site.child_name)
+    return child
+
+
+def parent_child_pairs(program):
+    """List of (parent FunctionDef, child FunctionDef, Launch) triples."""
+    pairs = []
+    for site in find_launch_sites(program):
+        pairs.append((site.parent, resolve_child(program, site), site.launch))
+    return pairs
+
+
+def is_recursive(program, kernel_name):
+    """True if the kernel (transitively) launches itself.
+
+    KLAP's *promotion* optimization targets this pattern; the paper's three
+    optimizations do not apply to it (Sec. IX), so the pipeline skips
+    recursive launch sites.
+    """
+    graph = {}
+    for site in find_launch_sites(program):
+        graph.setdefault(site.parent.name, set()).add(site.child_name)
+    seen = set()
+    stack = [kernel_name]
+    while stack:
+        name = stack.pop()
+        for child in graph.get(name, ()):
+            if child == kernel_name:
+                return True
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return False

@@ -1,0 +1,126 @@
+"""Scope and symbol-table construction for miniCUDA functions.
+
+Used by the transforms to pick fresh variable names that cannot collide with
+anything the programmer wrote, and by the engine to resolve identifier kinds
+(parameter, local, file-scope device variable, reserved CUDA builtin).
+"""
+
+from ..minicuda import ast
+from ..minicuda.visitor import find_all
+
+#: Reserved CUDA index/dimension variables (Sec. III-B replaces their uses).
+RESERVED_IDENTS = frozenset(
+    {"threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize"})
+
+#: Intrinsic functions known to the engine.
+INTRINSIC_FUNCTIONS = frozenset({
+    "__syncthreads", "__syncwarp", "__threadfence", "__threadfence_block",
+    "atomicAdd", "atomicSub", "atomicMax", "atomicMin", "atomicCAS",
+    "atomicExch", "atomicOr", "atomicAnd",
+    "min", "max", "abs", "fabs", "fabsf", "fminf", "fmaxf",
+    "ceil", "ceilf", "floor", "floorf", "sqrt", "sqrtf", "rsqrtf",
+    "exp", "expf", "log", "logf", "pow", "powf", "tanh", "tanhf",
+    "dim3", "printf", "cudaMalloc", "cudaFree", "memset",
+})
+
+
+def declared_names(func):
+    """All names declared inside *func*: parameters plus every local."""
+    names = {p.name for p in func.params}
+    for decl_stmt in find_all(func, ast.DeclStmt):
+        for decl in decl_stmt.decls:
+            names.add(decl.name)
+    return names
+
+
+def used_names(node):
+    """Every identifier mentioned anywhere under *node*."""
+    names = set()
+    for n in node.walk():
+        if isinstance(n, ast.Ident):
+            names.add(n.name)
+        elif isinstance(n, ast.Launch):
+            names.add(n.kernel)
+        elif isinstance(n, (ast.VarDecl, ast.Param)):
+            names.add(n.name)
+        elif isinstance(n, ast.FunctionDef):
+            names.add(n.name)
+    return names
+
+
+class NameAllocator:
+    """Produce fresh names that do not collide with a taken set.
+
+    The transforms instantiate one allocator per program so that names
+    created by different passes never clash either.
+    """
+
+    def __init__(self, taken=()):
+        self._taken = set(taken)
+        self._counters = {}
+
+    @classmethod
+    def for_program(cls, program):
+        return cls(used_names(program))
+
+    def reserve(self, name):
+        self._taken.add(name)
+        return name
+
+    def fresh(self, stem):
+        """Return *stem* if free, else ``stem_2``, ``stem_3``, ..."""
+        if stem not in self._taken:
+            self._taken.add(stem)
+            return stem
+        count = self._counters.get(stem, 1)
+        while True:
+            count += 1
+            candidate = "%s_%d" % (stem, count)
+            if candidate not in self._taken:
+                self._counters[stem] = count
+                self._taken.add(candidate)
+                return candidate
+
+
+class SymbolTable:
+    """Classification of every identifier used inside one function."""
+
+    def __init__(self, program, func):
+        self.func = func
+        self.params = {p.name: p for p in func.params}
+        self.locals = {}
+        for decl_stmt in find_all(func, ast.DeclStmt):
+            for decl in decl_stmt.decls:
+                self.locals[decl.name] = decl
+        self.functions = {f.name for f in program.functions()}
+        self.globals = {}
+        for decl in program.decls:
+            if isinstance(decl, ast.DeclStmt):
+                for var in decl.decls:
+                    self.globals[var.name] = var
+
+    def kind_of(self, name):
+        """One of 'param', 'local', 'global', 'reserved', 'function',
+        'intrinsic', or 'unknown'."""
+        if name in self.params:
+            return "param"
+        if name in self.locals:
+            return "local"
+        if name in RESERVED_IDENTS:
+            return "reserved"
+        if name in self.functions:
+            return "function"
+        if name in INTRINSIC_FUNCTIONS:
+            return "intrinsic"
+        if name in self.globals:
+            return "global"
+        return "unknown"
+
+    def type_of(self, name):
+        if name in self.params:
+            return self.params[name].type
+        if name in self.locals:
+            return self.locals[name].type
+        if name in self.globals:
+            return self.globals[name].type
+        return None

@@ -1,0 +1,19 @@
+"""The paper's seven evaluation benchmarks (Table I), each with No-CDP and
+CDP variants written in the miniCUDA dialect."""
+
+from .bfs import BFSBenchmark
+from .bt import BTBenchmark
+from .common import INF, Benchmark
+from .mstf import MSTFBenchmark
+from .mstv import MSTVBenchmark
+from .registry import (FIG9_PAIRS, FIG12_BENCHMARKS, all_benchmarks,
+                       get_benchmark)
+from .sp import SPBenchmark
+from .sssp import SSSPBenchmark
+from .tc import TCBenchmark
+
+__all__ = [
+    "BFSBenchmark", "BTBenchmark", "INF", "Benchmark", "MSTFBenchmark",
+    "MSTVBenchmark", "FIG9_PAIRS", "FIG12_BENCHMARKS", "all_benchmarks",
+    "get_benchmark", "SPBenchmark", "SSSPBenchmark", "TCBenchmark",
+]

@@ -1,0 +1,128 @@
+"""BT — Bezier line tessellation (CUDA samples, Table I).
+
+Each parent thread measures one quadratic Bezier line's curvature, derives
+its tessellation count, reserves output space with an atomic cursor, and
+launches a child grid that evaluates the curve at the tessellation points.
+The per-line tessellation count is data-dependent (curvature-driven), giving
+irregular nested parallelism. T0032-C16 caps tessellation at a small value
+(small child grids); T2048-C64 allows much larger ones.
+"""
+
+from ..datasets import bezier_lines
+from ..runtime.host import blocks
+from .common import Benchmark, scaled
+
+_CHILD = """
+__global__ void bt_child(float *cx, float *cy, float *outx, float *outy,
+                         int line, int offset, int ntess) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < ntess) {
+        float t = (float)tid / (float)(ntess - 1);
+        float omt = 1.0f - t;
+        float x0 = cx[line * 3];
+        float x1 = cx[line * 3 + 1];
+        float x2 = cx[line * 3 + 2];
+        float y0 = cy[line * 3];
+        float y1 = cy[line * 3 + 1];
+        float y2 = cy[line * 3 + 2];
+        outx[offset + tid] = omt * omt * x0 + 2.0f * omt * t * x1 + t * t * x2;
+        outy[offset + tid] = omt * omt * y0 + 2.0f * omt * t * y1 + t * t * y2;
+    }
+}
+"""
+
+_CDP_PARENT = """
+__global__ void bt_kernel(float *cx, float *cy, float *outx, float *outy,
+                          int *offsets, int *tess, int *cursor, int nlines,
+                          int max_tess, float curv_scale) {
+    int line = blockIdx.x * blockDim.x + threadIdx.x;
+    if (line < nlines) {
+        float dx = cx[line * 3 + 1] - 0.5f * (cx[line * 3] + cx[line * 3 + 2]);
+        float dy = cy[line * 3 + 1] - 0.5f * (cy[line * 3] + cy[line * 3 + 2]);
+        float curvature = sqrtf(dx * dx + dy * dy);
+        int ntess = (int)(curvature * curv_scale) + 2;
+        if (ntess > max_tess) {
+            ntess = max_tess;
+        }
+        int offset = atomicAdd(cursor, ntess);
+        offsets[line] = offset;
+        tess[line] = ntess;
+        bt_child<<<(ntess + %(cb)d - 1) / %(cb)d, %(cb)d>>>(
+            cx, cy, outx, outy, line, offset, ntess);
+    }
+}
+"""
+
+_NOCDP = """
+__global__ void bt_kernel(float *cx, float *cy, float *outx, float *outy,
+                          int *offsets, int *tess, int *cursor, int nlines,
+                          int max_tess, float curv_scale) {
+    int line = blockIdx.x * blockDim.x + threadIdx.x;
+    if (line < nlines) {
+        float dx = cx[line * 3 + 1] - 0.5f * (cx[line * 3] + cx[line * 3 + 2]);
+        float dy = cy[line * 3 + 1] - 0.5f * (cy[line * 3] + cy[line * 3 + 2]);
+        float curvature = sqrtf(dx * dx + dy * dy);
+        int ntess = (int)(curvature * curv_scale) + 2;
+        if (ntess > max_tess) {
+            ntess = max_tess;
+        }
+        int offset = atomicAdd(cursor, ntess);
+        offsets[line] = offset;
+        tess[line] = ntess;
+        float x0 = cx[line * 3];
+        float x1 = cx[line * 3 + 1];
+        float x2 = cx[line * 3 + 2];
+        float y0 = cy[line * 3];
+        float y1 = cy[line * 3 + 1];
+        float y2 = cy[line * 3 + 2];
+        for (int i = 0; i < ntess; ++i) {
+            float t = (float)i / (float)(ntess - 1);
+            float omt = 1.0f - t;
+            outx[offset + i] = omt * omt * x0 + 2.0f * omt * t * x1
+                               + t * t * x2;
+            outy[offset + i] = omt * omt * y0 + 2.0f * omt * t * y1
+                               + t * t * y2;
+        }
+    }
+}
+"""
+
+
+class BTBenchmark(Benchmark):
+    name = "BT"
+    dataset_names = ("T0032-C16", "T2048-C64")
+    child_block = 32
+
+    def cdp_source(self):
+        return _CHILD + _CDP_PARENT % {"cb": self.child_block}
+
+    def nocdp_source(self):
+        return _NOCDP
+
+    def build_dataset(self, dataset_name, scale=1.0):
+        if dataset_name == "T0032-C16":
+            return bezier_lines(num_lines=scaled(800, scale, 60),
+                                max_tess=32, curvature_scale=16.0,
+                                name="T0032-C16")
+        if dataset_name == "T2048-C64":
+            return bezier_lines(num_lines=scaled(600, scale, 50),
+                                max_tess=256, curvature_scale=64.0,
+                                name="T2048-C64", seed=8)
+        raise KeyError(dataset_name)
+
+    def drive(self, device, data):
+        nlines = data.num_lines
+        out_capacity = int(data.tess_counts().sum()) + data.max_tess
+        cx = device.upload(data.control_x)
+        cy = device.upload(data.control_y)
+        outx = device.alloc("float", out_capacity)
+        outy = device.alloc("float", out_capacity)
+        offsets = device.alloc("int", nlines)
+        tess = device.alloc("int", nlines)
+        cursor = device.alloc("int", 1)
+        device.launch("bt_kernel", blocks(nlines, 128), 128,
+                      cx, cy, outx, outy, offsets, tess, cursor, nlines,
+                      data.max_tess, float(data.curvature_scale))
+        device.sync()
+        return {"outx": outx.to_numpy(), "outy": outy.to_numpy(),
+                "offsets": offsets.to_numpy(), "tess": tess.to_numpy()}

@@ -1,0 +1,64 @@
+"""Shared benchmark machinery.
+
+Each benchmark (Table I) provides a No-CDP source, a CDP source, dataset
+builders, and a host driver. Drivers are variant-agnostic: the parent kernel
+keeps the same name and user-visible parameters in both sources, and the
+:class:`~repro.runtime.host.Device` appends aggregation buffers automatically
+when the module was transformed.
+"""
+
+from ..engine.module import Module
+from ..runtime.host import Device
+from ..transforms import transform
+
+INF = 1 << 30
+
+
+class Benchmark:
+    """Base class: one paper benchmark with its datasets and driver."""
+
+    name = None
+    dataset_names = ()
+    child_block = 128            # block dimension of dynamic child launches
+
+    def cdp_source(self):
+        raise NotImplementedError
+
+    def nocdp_source(self):
+        raise NotImplementedError
+
+    def build_dataset(self, dataset_name, scale=1.0):
+        """Construct a dataset by Table I name; *scale* shrinks the size
+        (1.0 reproduces this repo's reference sizes)."""
+        raise NotImplementedError
+
+    def drive(self, device, data):
+        """Run the benchmark's host loop; returns output arrays (dict of
+        numpy arrays) used for cross-variant correctness checks."""
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------------
+
+    def module_for(self, variant="cdp", config=None, cost_model=None):
+        """Compile a variant: 'nocdp', 'cdp', or a transformed CDP module
+        described by an :class:`~repro.transforms.OptConfig`."""
+        if variant == "nocdp":
+            return Module(self.nocdp_source(), cost_model=cost_model)
+        if variant == "cdp" and config is None:
+            return Module(self.cdp_source(), cost_model=cost_model)
+        result = transform(self.cdp_source(), config)
+        return Module(result.program, result.meta, cost_model=cost_model)
+
+    def run(self, data, variant="cdp", config=None, device_config=None,
+            cost_model=None):
+        """Compile + execute + time one variant. Returns (outputs, timing,
+        device)."""
+        module = self.module_for(variant, config, cost_model)
+        device = Device(module, device_config)
+        outputs = self.drive(device, data)
+        timing = device.finish()
+        return outputs, timing, device
+
+
+def scaled(value, scale, minimum=1):
+    return max(minimum, int(round(value * scale)))

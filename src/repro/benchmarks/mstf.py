@@ -1,0 +1,113 @@
+"""MSTF — Borůvka minimum spanning tree, *find* kernel (Lonestar-style).
+
+Each vertex scans its adjacency list for the lightest edge leaving its
+component and publishes it with an encoded atomicMin on the component's
+slot. The driver runs the find phase over a pre-computed component
+labelling with a skewed component-size distribution (mid-algorithm state).
+"""
+
+import numpy as np
+
+from ..datasets import kron_graph, web_graph
+from ..runtime.host import blocks
+from .common import INF, Benchmark, scaled
+
+_ENC = 1 << 20   # weight * _ENC + edge index; weights < 64, edges < _ENC
+
+_CHILD = """
+__global__ void mstf_child(int *col, int *wts, int *comp, int *best,
+                           int cu, int start, int degree) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < degree) {
+        int v = col[start + tid];
+        if (comp[v] != cu) {
+            int enc = wts[start + tid] * %(enc)d + (start + tid);
+            atomicMin(&best[cu], enc);
+        }
+    }
+}
+"""
+
+_CDP_PARENT = """
+__global__ void mstf_kernel(int *row, int *col, int *wts, int *comp,
+                            int *best, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int start = row[u];
+        int degree = row[u + 1] - start;
+        int cu = comp[u];
+        if (degree > 0) {
+            mstf_child<<<(degree + %(cb)d - 1) / %(cb)d, %(cb)d>>>(
+                col, wts, comp, best, cu, start, degree);
+        }
+    }
+}
+"""
+
+_NOCDP = """
+__global__ void mstf_kernel(int *row, int *col, int *wts, int *comp,
+                            int *best, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int start = row[u];
+        int end = row[u + 1];
+        int cu = comp[u];
+        for (int i = start; i < end; ++i) {
+            int v = col[i];
+            if (comp[v] != cu) {
+                int enc = wts[i] * %(enc)d + i;
+                atomicMin(&best[cu], enc);
+            }
+        }
+    }
+}
+"""
+
+
+def skewed_components(num_vertices, seed=11):
+    """A mid-Borůvka component labelling: few big components, many small."""
+    rng = np.random.default_rng(seed)
+    labels = np.zeros(num_vertices, dtype=np.int64)
+    next_label = 0
+    index = 0
+    while index < num_vertices:
+        size = int(rng.pareto(1.2) * 4) + 1
+        labels[index:index + size] = next_label
+        next_label += 1
+        index += size
+    return rng.permutation(labels)
+
+
+class MSTFBenchmark(Benchmark):
+    name = "MSTF"
+    dataset_names = ("KRON", "CNR", "ROAD-NY")
+    child_block = 32
+
+    def cdp_source(self):
+        return (_CHILD + _CDP_PARENT) % {"cb": self.child_block, "enc": _ENC}
+
+    def nocdp_source(self):
+        return _NOCDP % {"enc": _ENC}
+
+    def build_dataset(self, dataset_name, scale=1.0):
+        if dataset_name == "KRON":
+            return kron_graph(scale=max(7, 11 + int(np.log2(max(scale, 1e-6)))))
+        if dataset_name == "CNR":
+            return web_graph(n=scaled(3000, scale, 200))
+        if dataset_name == "ROAD-NY":
+            from ..datasets import road_graph
+            side = scaled(50, scale ** 0.5, 12)
+            return road_graph(width=side, height=side)
+        raise KeyError(dataset_name)
+
+    def drive(self, device, graph):
+        n = graph.num_vertices
+        row = device.upload(graph.row)
+        col = device.upload(graph.col)
+        wts = device.upload(graph.weights)
+        comp = device.upload(skewed_components(n))
+        best = device.alloc("int", n, fill=INF)
+        device.launch("mstf_kernel", blocks(n, 256), 256,
+                      row, col, wts, comp, best, n)
+        device.sync()
+        return {"best": best.to_numpy()}

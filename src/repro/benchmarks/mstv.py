@@ -1,0 +1,92 @@
+"""MSTV — Borůvka minimum spanning tree, *verify* kernel (Lonestar-style).
+
+Verification walks every vertex's adjacency list and tallies, per component,
+intra-component edges and the lightest cross edge seen — checking the
+component structure is consistent. Same nested-parallel shape as MSTF but
+with heavier per-edge work (two counters).
+"""
+
+from ..runtime.host import blocks
+from .common import INF, Benchmark
+from .mstf import MSTFBenchmark, skewed_components
+
+_CHILD = """
+__global__ void mstv_child(int *col, int *wts, int *comp, int *intra,
+                           int *cross, int cu, int start, int degree) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < degree) {
+        int v = col[start + tid];
+        int w = wts[start + tid];
+        if (comp[v] == cu) {
+            atomicAdd(&intra[cu], 1);
+        } else {
+            atomicMin(&cross[cu], w);
+        }
+    }
+}
+"""
+
+_CDP_PARENT = """
+__global__ void mstv_kernel(int *row, int *col, int *wts, int *comp,
+                            int *intra, int *cross, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int start = row[u];
+        int degree = row[u + 1] - start;
+        int cu = comp[u];
+        if (degree > 0) {
+            mstv_child<<<(degree + %(cb)d - 1) / %(cb)d, %(cb)d>>>(
+                col, wts, comp, intra, cross, cu, start, degree);
+        }
+    }
+}
+"""
+
+_NOCDP = """
+__global__ void mstv_kernel(int *row, int *col, int *wts, int *comp,
+                            int *intra, int *cross, int n) {
+    int u = blockIdx.x * blockDim.x + threadIdx.x;
+    if (u < n) {
+        int start = row[u];
+        int end = row[u + 1];
+        int cu = comp[u];
+        for (int i = start; i < end; ++i) {
+            int v = col[i];
+            int w = wts[i];
+            if (comp[v] == cu) {
+                atomicAdd(&intra[cu], 1);
+            } else {
+                atomicMin(&cross[cu], w);
+            }
+        }
+    }
+}
+"""
+
+
+class MSTVBenchmark(Benchmark):
+    name = "MSTV"
+    dataset_names = ("KRON", "CNR", "ROAD-NY")
+    child_block = 32
+
+    def cdp_source(self):
+        return _CHILD + _CDP_PARENT % {"cb": self.child_block}
+
+    def nocdp_source(self):
+        return _NOCDP
+
+    def build_dataset(self, dataset_name, scale=1.0):
+        return MSTFBenchmark().build_dataset(dataset_name, scale)
+
+    def drive(self, device, graph):
+        n = graph.num_vertices
+        row = device.upload(graph.row)
+        col = device.upload(graph.col)
+        wts = device.upload(graph.weights)
+        comp = device.upload(skewed_components(n))
+        intra = device.alloc("int", n)
+        cross = device.alloc("int", n, fill=INF)
+        device.launch("mstv_kernel", blocks(n, 256), 256,
+                      row, col, wts, comp, intra, cross, n)
+        device.sync()
+        return {"intra": intra.to_numpy(), "cross": cross.to_numpy()}

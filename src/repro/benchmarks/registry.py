@@ -1,0 +1,42 @@
+"""Registry of the seven Table I benchmarks."""
+
+from .bfs import BFSBenchmark
+from .bt import BTBenchmark
+from .mstf import MSTFBenchmark
+from .mstv import MSTVBenchmark
+from .sp import SPBenchmark
+from .sssp import SSSPBenchmark
+from .tc import TCBenchmark
+
+_BENCHMARK_CLASSES = (
+    BFSBenchmark, BTBenchmark, MSTFBenchmark, MSTVBenchmark,
+    SPBenchmark, SSSPBenchmark, TCBenchmark,
+)
+
+
+def all_benchmarks():
+    """Fresh instances of every benchmark, in Table I order."""
+    return [cls() for cls in _BENCHMARK_CLASSES]
+
+
+def get_benchmark(name):
+    for cls in _BENCHMARK_CLASSES:
+        if cls.name == name.upper():
+            return cls()
+    raise KeyError("unknown benchmark %r (have %s)"
+                   % (name, ", ".join(c.name for c in _BENCHMARK_CLASSES)))
+
+
+#: Benchmark/dataset pairs of the paper's main evaluation (Fig. 9).
+FIG9_PAIRS = (
+    ("BFS", "KRON"), ("BFS", "CNR"),
+    ("BT", "T0032-C16"), ("BT", "T2048-C64"),
+    ("MSTF", "KRON"), ("MSTF", "CNR"),
+    ("MSTV", "KRON"), ("MSTV", "CNR"),
+    ("SP", "RAND-3"), ("SP", "5-SAT"),
+    ("SSSP", "KRON"), ("SSSP", "CNR"),
+    ("TC", "KRON"), ("TC", "CNR"),
+)
+
+#: Graph benchmarks evaluated on the road graph in Fig. 12.
+FIG12_BENCHMARKS = ("BFS", "MSTF", "MSTV", "SSSP", "TC")

@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+Mirrors the paper's artifact workflow (Appendix E): transform CUDA sources,
+inspect the analyses, run benchmark variants, and regenerate the evaluation
+figures.
+
+Usage::
+
+    python -m repro transform kernel.cu --threshold 128 --coarsen 8 \\
+        --aggregate multiblock -o kernel_opt.cu
+    python -m repro analyze kernel.cu
+    python -m repro bench BFS KRON --variant CDP+T+C+A --threshold 32
+    python -m repro figure fig9 --scale 0.25
+"""
+
+import argparse
+import json
+import sys
+
+from .analysis import analyze_program, find_launch_sites, find_thread_count
+from .benchmarks import get_benchmark
+from .harness import (TuningParams, figure9, figure10, figure11, figure12,
+                      fixed_threshold_study, run_variant, table1)
+from .minicuda import parse
+from .minicuda.printer import print_expr
+from .transforms import GRANULARITIES, OptConfig, transform
+from .transforms.base import meta_to_dict
+
+
+def _add_opt_flags(parser):
+    parser.add_argument("--threshold", type=int, default=None,
+                        help="launch threshold (enables thresholding)")
+    parser.add_argument("--coarsen", type=int, default=None,
+                        help="coarsening factor (enables coarsening)")
+    parser.add_argument("--aggregate", choices=GRANULARITIES, default=None,
+                        help="aggregation granularity (enables aggregation)")
+    parser.add_argument("--group-blocks", type=int, default=8,
+                        help="blocks per group for multi-block aggregation")
+    parser.add_argument("--agg-threshold", type=int, default=None,
+                        help="aggregation threshold (warp/block only)")
+    parser.add_argument("--promote", action="store_true",
+                        help="apply KLAP promotion to single-block "
+                             "self-recursive kernels first")
+
+
+def _config_from(args):
+    return OptConfig(threshold=args.threshold,
+                     coarsen_factor=args.coarsen,
+                     aggregate=args.aggregate,
+                     group_blocks=args.group_blocks,
+                     agg_threshold=args.agg_threshold)
+
+
+def cmd_transform(args):
+    with open(args.source) as handle:
+        source = handle.read()
+    if getattr(args, "promote", False):
+        from .transforms import PromotionPass
+        program = parse(source)
+        promo_meta = PromotionPass().run(program)
+        result = transform(program, _config_from(args))
+        result.meta.merge(promo_meta)
+    else:
+        result = transform(source, _config_from(args))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.source)
+        print("wrote %s" % args.output)
+    else:
+        print(result.source)
+    if args.meta:
+        with open(args.meta, "w") as handle:
+            json.dump(meta_to_dict(result.meta), handle, indent=2)
+        print("wrote %s" % args.meta)
+    return 0
+
+
+def cmd_analyze(args):
+    with open(args.source) as handle:
+        program = parse(handle.read())
+    props = analyze_program(program)
+    print("kernels:")
+    for name, info in props.items():
+        flags = []
+        if info.uses_barrier:
+            flags.append("barrier")
+        if info.uses_shared_memory:
+            flags.append("shared-memory")
+        if info.uses_warp_primitives:
+            flags.append("warp-primitives")
+        print("  %-24s thresholdable=%-5s dims=%s %s" % (
+            name, info.thresholdable,
+            "".join(sorted(info.dims_used)) or "-",
+            ("(" + ", ".join(flags) + ")") if flags else ""))
+    sites = find_launch_sites(program)
+    print("dynamic launch sites: %d" % len(sites))
+    for site in sites:
+        analysis = find_thread_count(site.launch.grid)
+        count = (print_expr(analysis.count_expr)
+                 if analysis.count_expr is not None else "<not found>")
+        print("  %s -> %s   desired threads: %s (exact=%s)" % (
+            site.parent.name, site.child_name, count, analysis.exact))
+    return 0
+
+
+def cmd_bench(args):
+    bench = get_benchmark(args.benchmark)
+    data = bench.build_dataset(args.dataset, args.scale)
+    params = TuningParams(threshold=args.threshold,
+                          coarsen_factor=args.coarsen,
+                          granularity=args.aggregate,
+                          group_blocks=args.group_blocks)
+    result = run_variant(bench, data, args.variant, params)
+    print("%s on %s (%s, params %s)" % (args.variant, bench.name,
+                                        args.dataset, params.describe()))
+    print("  simulated cycles : %d" % result.total_time)
+    print("  dynamic launches : %d" % result.device_launches)
+    print("  queue wait cycles: %d" % result.launch_queue_wait)
+    total = max(sum(result.breakdown.values()), 1)
+    for component, value in result.breakdown.items():
+        print("  %-7s %10d cycles (%5.1f%%)"
+              % (component, value, 100.0 * value / total))
+    return 0
+
+
+_FIGURES = {
+    "table1": lambda args: table1(args.scale),
+    "fig9": lambda args: figure9(scale=args.scale, strategy=args.strategy),
+    "fig10": lambda args: figure10(scale=args.scale, strategy=args.strategy),
+    "fig11": lambda args: figure11(args.benchmark or "BFS",
+                                   args.dataset or "KRON",
+                                   scale=args.scale),
+    "fig12": lambda args: figure12(scale=args.scale, strategy=args.strategy),
+    "fixed-threshold": lambda args: fixed_threshold_study(
+        scale=args.scale, strategy=args.strategy),
+}
+
+
+def cmd_figure(args):
+    result = _FIGURES[args.name](args)
+    text = result.format()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print("wrote %s" % args.output)
+    else:
+        print(text)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CGO 2022 dynamic-parallelism compiler framework "
+                    "(Python reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_transform = sub.add_parser(
+        "transform", help="apply T/C/A passes to a miniCUDA source file")
+    p_transform.add_argument("source")
+    p_transform.add_argument("-o", "--output", default=None)
+    p_transform.add_argument("--meta", default=None,
+                             help="write runtime metadata JSON here")
+    _add_opt_flags(p_transform)
+    p_transform.set_defaults(func=cmd_transform)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="report launch sites and kernel legality")
+    p_analyze.add_argument("source")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_bench = sub.add_parser("bench", help="run one benchmark variant")
+    p_bench.add_argument("benchmark")
+    p_bench.add_argument("dataset")
+    p_bench.add_argument("--variant", default="CDP+T+C+A")
+    p_bench.add_argument("--scale", type=float, default=0.25)
+    _add_opt_flags(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_figure = sub.add_parser(
+        "figure", help="regenerate a table/figure of the evaluation")
+    p_figure.add_argument("name", choices=sorted(_FIGURES))
+    p_figure.add_argument("--scale", type=float, default=0.25)
+    p_figure.add_argument("--strategy", choices=("guided", "exhaustive"),
+                          default="guided")
+    p_figure.add_argument("--benchmark", default=None,
+                          help="fig11 panel benchmark")
+    p_figure.add_argument("--dataset", default=None,
+                          help="fig11 panel dataset")
+    p_figure.add_argument("-o", "--output", default=None)
+    p_figure.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

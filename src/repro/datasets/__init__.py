@@ -1,0 +1,13 @@
+"""Dataset generators shaped after Table I of the paper."""
+
+from .bezier import BezierDataset, bezier_lines
+from .graphs import (CSRGraph, from_edges, kron_graph, road_graph,
+                     uniform_random_graph, web_graph)
+from .sat import SATInstance, random_ksat
+
+__all__ = [
+    "BezierDataset", "bezier_lines",
+    "CSRGraph", "from_edges", "kron_graph", "road_graph",
+    "uniform_random_graph", "web_graph",
+    "SATInstance", "random_ksat",
+]

@@ -1,0 +1,65 @@
+"""Bezier-line datasets for the BT (Bezier Tessellation) benchmark.
+
+The CUDA-samples benchmark tessellates quadratic Bezier lines: the number of
+tessellation points per line is proportional to the line's *curvature*,
+clamped to a maximum. The paper's datasets are T0032-C16 (max tessellation
+32, curvature 16) and T2048-C64 (max 2048, curvature 64) over 20,000 lines;
+we reproduce both shapes at reduced line counts / tessellation caps.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BezierDataset:
+    """Quadratic Bezier control points (3 per line, 2-D)."""
+
+    control_x: np.ndarray     # float64[3 * lines]
+    control_y: np.ndarray     # float64[3 * lines]
+    max_tess: int
+    curvature_scale: float
+    name: str = "bezier"
+
+    @property
+    def num_lines(self):
+        return len(self.control_x) // 3
+
+    def curvatures(self):
+        """Host-side reference of each line's curvature measure."""
+        px = self.control_x.reshape(-1, 3)
+        py = self.control_y.reshape(-1, 3)
+        dx = px[:, 1] - 0.5 * (px[:, 0] + px[:, 2])
+        dy = py[:, 1] - 0.5 * (py[:, 0] + py[:, 2])
+        return np.sqrt(dx * dx + dy * dy)
+
+    def tess_counts(self):
+        """Host-side reference tessellation count per line."""
+        counts = np.minimum(
+            self.max_tess,
+            (self.curvatures() * self.curvature_scale).astype(np.int64) + 2)
+        return np.maximum(counts, 2)
+
+    def __repr__(self):
+        return "BezierDataset(%s: %d lines, max_tess=%d)" % (
+            self.name, self.num_lines, self.max_tess)
+
+
+def bezier_lines(num_lines=800, max_tess=32, curvature_scale=16.0, seed=6,
+                 name="T0032-C16"):
+    """Random control points; curvature (hence nested work) is heavy-tailed
+    via squared-uniform displacement of the middle control point."""
+    rng = np.random.default_rng(seed)
+    p0 = rng.random((num_lines, 2))
+    p2 = rng.random((num_lines, 2))
+    # Middle control point displaced from the chord midpoint.
+    bulge = (rng.random((num_lines, 1)) ** 2) * 4.0
+    direction = rng.standard_normal((num_lines, 2))
+    norm = np.linalg.norm(direction, axis=1, keepdims=True)
+    direction = direction / np.maximum(norm, 1e-9)
+    p1 = 0.5 * (p0 + p2) + bulge * direction
+    control_x = np.stack([p0[:, 0], p1[:, 0], p2[:, 0]], axis=1).ravel()
+    control_y = np.stack([p0[:, 1], p1[:, 1], p2[:, 1]], axis=1).ravel()
+    return BezierDataset(control_x, control_y, max_tess,
+                         float(curvature_scale), name)

@@ -1,0 +1,133 @@
+"""Graph datasets in CSR form, shaped after the paper's inputs (Table I).
+
+The paper evaluates on KRON (a Kronecker/RMAT graph: heavy-tailed degrees),
+CNR (a web crawl: power-law with locality), and — for the low-nested-
+parallelism study of Fig. 12 — USA-road-d.NY (average degree 3, max 8).
+These generators reproduce those degree-distribution *shapes* at
+interpreter-friendly sizes; the degree distribution is what drives the
+irregular nested parallelism the optimizations target.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """Compressed sparse row adjacency with optional edge weights."""
+
+    row: np.ndarray          # int64[n+1]
+    col: np.ndarray          # int64[m]
+    weights: np.ndarray      # int64[m]
+    name: str = "graph"
+
+    @property
+    def num_vertices(self):
+        return len(self.row) - 1
+
+    @property
+    def num_edges(self):
+        return len(self.col)
+
+    def degree(self, vertex):
+        return int(self.row[vertex + 1] - self.row[vertex])
+
+    def degrees(self):
+        return np.diff(self.row)
+
+    def __repr__(self):
+        return "CSRGraph(%s: %d vertices, %d edges, max deg %d)" % (
+            self.name, self.num_vertices, self.num_edges,
+            int(self.degrees().max(initial=0)))
+
+
+def from_edges(n, src, dst, name="graph", weights=None, seed=0,
+               symmetrize=True):
+    """Build a CSR graph from edge lists (deduplicated, no self loops)."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if symmetrize:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if len(src):
+        unique = np.ones(len(src), dtype=bool)
+        unique[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        src, dst = src[unique], dst[unique]
+    row = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(row, src + 1, 1)
+    row = np.cumsum(row)
+    if weights is None:
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(1, 64, len(dst), dtype=np.int64)
+    return CSRGraph(row, dst.astype(np.int64), np.asarray(weights), name)
+
+
+def kron_graph(scale=11, edge_factor=8, seed=1, name="KRON"):
+    """RMAT/Kronecker generator (Graph500 parameters a=.57 b=.19 c=.19).
+
+    Mirrors kron_g500-simple-logn16 at a reduced scale: heavy-tailed degree
+    distribution with a few very-high-degree hubs.
+    """
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    a, b, c = 0.57, 0.19, 0.19
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        go_right_src = r > a + b          # lower quadrants
+        r2 = rng.random(m)
+        thresh = np.where(go_right_src, c / (c + (1 - a - b - c)), a / (a + b))
+        go_right_dst = r2 > thresh
+        src |= go_right_src.astype(np.int64) << bit
+        dst |= go_right_dst.astype(np.int64) << bit
+    return from_edges(n, src, dst, name=name, seed=seed)
+
+
+def web_graph(n=3000, avg_degree=9, seed=2, name="CNR"):
+    """Preferential-attachment web-like graph (power-law, like cnr-2000)."""
+    rng = np.random.default_rng(seed)
+    m = n * avg_degree // 2
+    # Zipf-weighted endpoints emulate preferential attachment cheaply.
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    probs = 1.0 / ranks
+    probs /= probs.sum()
+    src = rng.choice(n, size=m, p=probs)
+    dst = rng.choice(n, size=m, p=probs)
+    perm = rng.permutation(n)            # avoid id-correlated hubs
+    return from_edges(n, perm[src], perm[dst], name=name, seed=seed)
+
+
+def road_graph(width=50, height=50, extra_fraction=0.05, seed=3,
+               name="ROAD-NY"):
+    """2-D lattice with a few diagonal shortcuts: degree ≤ 8, average ≈ 3-4.
+
+    Matches the USA-road-d.NY profile of Sec. VIII-D (small uniform degrees,
+    hence very low nested parallelism).
+    """
+    rng = np.random.default_rng(seed)
+    n = width * height
+    ids = np.arange(n).reshape(height, width)
+    src = np.concatenate([ids[:, :-1].ravel(), ids[:-1, :].ravel()])
+    dst = np.concatenate([ids[:, 1:].ravel(), ids[1:, :].ravel()])
+    extra = int(n * extra_fraction)
+    if extra:
+        diag_src = ids[:-1, :-1].ravel()
+        pick = rng.choice(len(diag_src), size=min(extra, len(diag_src)),
+                          replace=False)
+        src = np.concatenate([src, diag_src[pick]])
+        dst = np.concatenate([dst, diag_src[pick] + width + 1])
+    return from_edges(n, src, dst, name=name, seed=seed)
+
+
+def uniform_random_graph(n=2000, avg_degree=10, seed=4, name="RAND"):
+    """Erdős–Rényi-style graph (used by tests as a neutral baseline)."""
+    rng = np.random.default_rng(seed)
+    m = n * avg_degree // 2
+    return from_edges(n, rng.integers(0, n, m), rng.integers(0, n, m),
+                      name=name, seed=seed)

@@ -1,0 +1,13 @@
+"""Execution engine: transpiles miniCUDA kernels to Python and runs them
+functionally with cycle accounting."""
+
+from .builtins import c_div, c_mod
+from .codegen import generate_module_source
+from .executor import ExecContext, run_grid
+from .module import KernelHandle, Module
+from .values import Dim3, Ptr, alloc_for_type
+
+__all__ = [
+    "c_div", "c_mod", "generate_module_source", "ExecContext", "run_grid",
+    "KernelHandle", "Module", "Dim3", "Ptr", "alloc_for_type",
+]

@@ -1,0 +1,29 @@
+"""Arithmetic helpers with C semantics, used by generated code."""
+
+import numpy as np
+
+_FLOATS = (float, np.floating)
+
+
+def c_div(a, b):
+    """C division: float division if either operand is float, else integer
+    division truncating toward zero (Python ``//`` floors)."""
+    if isinstance(a, _FLOATS) or isinstance(b, _FLOATS):
+        return a / b
+    quotient = a // b
+    if quotient < 0 and quotient * b != a:
+        quotient += 1
+    return quotient
+
+
+def c_mod(a, b):
+    """C remainder: same sign as the dividend."""
+    if isinstance(a, _FLOATS) or isinstance(b, _FLOATS):
+        return np.fmod(a, b)
+    return a - c_div(a, b) * b
+
+
+def local_array(size, type_name):
+    """A per-thread fixed-size local array (``T buf[n]`` in kernel code)."""
+    zero = 0.0 if type_name in ("float", "double") else 0
+    return [zero] * int(size)

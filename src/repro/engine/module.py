@@ -1,0 +1,93 @@
+"""Compiled kernel modules: parse → transpile → exec → callable kernels."""
+
+from dataclasses import dataclass
+
+from ..errors import CodegenError
+from ..minicuda import ast, parse
+from ..sim.costmodel import CostModel
+from .codegen import generate_module_source
+from .values import Ptr, alloc_for_type
+
+
+@dataclass
+class KernelHandle:
+    """One compiled kernel: the generated Python callable plus launch facts."""
+
+    name: str
+    fn: callable
+    has_barrier: bool
+    params: list                      # [(name, Type), ...]
+    multi_dim: bool = False           # compiled with the 3-D convention
+
+    @property
+    def num_params(self):
+        return len(self.params)
+
+
+class Module:
+    """A compiled miniCUDA translation unit.
+
+    ``meta`` is the :class:`~repro.transforms.base.ModuleMeta` produced by
+    the transformation pipeline (or None for untransformed code); its macro
+    values are baked into the generated Python as constants, mirroring the
+    paper's compile-time ``-D_THRESHOLD=...`` overrides.
+    """
+
+    def __init__(self, source_or_program, meta=None, cost_model=None):
+        if isinstance(source_or_program, ast.Program):
+            self.program = source_or_program
+        else:
+            self.program = parse(source_or_program)
+        self.meta = meta
+        self.cost_model = cost_model or CostModel()
+        macros = dict(meta.macros) if meta is not None else {}
+        self.python_source, kernel_info = generate_module_source(
+            self.program, macros, self.cost_model)
+        self.namespace = {}
+        exec(compile(self.python_source, "<minicuda-codegen>", "exec"),
+             self.namespace)
+        self._allocate_globals()
+        self.kernels = {}
+        for name, info in kernel_info.items():
+            self.kernels[name] = KernelHandle(
+                name=name,
+                fn=self.namespace["k_" + name],
+                has_barrier=info["has_barrier"],
+                params=info["params"],
+                multi_dim=info["multi_dim"])
+
+    def _allocate_globals(self):
+        """File-scope __device__ variables become module-level Ptr cells."""
+        for decl in self.program.decls:
+            if not isinstance(decl, ast.DeclStmt):
+                continue
+            for var in decl.decls:
+                if var.array_size is not None:
+                    if not isinstance(var.array_size, ast.IntLit):
+                        raise CodegenError(
+                            "global array %r needs a literal size" % var.name)
+                    count = var.array_size.value
+                else:
+                    count = 1
+                cell = alloc_for_type(var.type, count)
+                if var.init is not None:
+                    if not isinstance(var.init, (ast.IntLit, ast.FloatLit)):
+                        raise CodegenError(
+                            "global %r needs a literal initializer"
+                            % var.name)
+                    cell[0] = var.init.value
+                self.namespace["g_" + var.name] = cell
+
+    def kernel(self, name):
+        try:
+            return self.kernels[name]
+        except KeyError:
+            raise CodegenError("module has no kernel %r" % name) from None
+
+    def global_ptr(self, name):
+        """The Ptr cell backing a file-scope __device__ variable."""
+        return self.namespace["g_" + name]
+
+    def reset_globals(self):
+        """Re-zero every file-scope variable (between benchmark runs)."""
+        self._allocate_globals()

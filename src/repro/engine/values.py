@@ -1,0 +1,106 @@
+"""Runtime value types for the engine: device pointers and ``dim3``."""
+
+import numpy as np
+
+from ..errors import RuntimeLaunchError
+
+
+class Dim3:
+    """Mutable CUDA ``dim3`` with C-like value semantics on assignment."""
+
+    __slots__ = ("x", "y", "z")
+
+    def __init__(self, x=1, y=1, z=1):
+        self.x = int(x)
+        self.y = int(y)
+        self.z = int(z)
+
+    @classmethod
+    def of(cls, value):
+        """Copy-convert: ints become (n,1,1); Dim3 instances are copied."""
+        if isinstance(value, Dim3):
+            return cls(value.x, value.y, value.z)
+        return cls(int(value))
+
+    @property
+    def total(self):
+        return self.x * self.y * self.z
+
+    def __eq__(self, other):
+        if isinstance(other, Dim3):
+            return (self.x, self.y, self.z) == (other.x, other.y, other.z)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.x, self.y, self.z))
+
+    def __repr__(self):
+        return "Dim3(%d, %d, %d)" % (self.x, self.y, self.z)
+
+
+class Ptr:
+    """A typed view into device memory: a numpy array plus an offset.
+
+    Pointer arithmetic (``p + k``) produces a new view; indexing reads and
+    writes through the view. Object-dtype arrays hold pointer- or
+    dim3-valued elements (used by the aggregation buffers).
+    """
+
+    __slots__ = ("array", "offset")
+
+    def __init__(self, array, offset=0):
+        self.array = array
+        self.offset = offset
+
+    def __getitem__(self, index):
+        return self.array[self.offset + index]
+
+    def __setitem__(self, index, value):
+        self.array[self.offset + index] = value
+
+    def __add__(self, other):
+        return Ptr(self.array, self.offset + int(other))
+
+    def __len__(self):
+        return len(self.array) - self.offset
+
+    def fill(self, value):
+        self.array[self.offset:] = value
+
+    def to_numpy(self):
+        """A copy of the viewed region as a numpy array (host readback)."""
+        return np.array(self.array[self.offset:])
+
+    def __repr__(self):
+        return "Ptr(dtype=%s, len=%d, off=%d)" % (
+            self.array.dtype, len(self.array), self.offset)
+
+
+_DTYPES = {
+    "int": np.int64,
+    "unsigned": np.int64,
+    "unsigned int": np.int64,
+    "long": np.int64,
+    "unsigned long": np.int64,
+    "short": np.int64,
+    "char": np.int64,
+    "bool": np.int64,
+    "float": np.float64,
+    "double": np.float64,
+}
+
+
+def alloc_for_type(element_type, count):
+    """Allocate device memory for *count* elements of a miniCUDA type.
+
+    *element_type* is the type of one element: pointer and ``dim3`` elements
+    get object arrays (they store Ptr / Dim3 values); scalars get numeric
+    numpy arrays.
+    """
+    count = int(count)
+    if element_type.pointers >= 1 or element_type.name == "dim3":
+        return Ptr(np.empty(count, dtype=object))
+    name = element_type.name
+    if name not in _DTYPES:
+        raise RuntimeLaunchError("cannot allocate elements of type %r" % name)
+    return Ptr(np.zeros(count, dtype=_DTYPES[name]))

@@ -1,0 +1,56 @@
+"""Exceptions shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(ReproError):
+    """Raised when the tokenizer meets a character it cannot classify."""
+
+    def __init__(self, message, line=None, col=None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = "line %d:%d: %s" % (line, col, message)
+        super().__init__(message)
+
+
+class ParseError(ReproError):
+    """Raised when the parser meets an unexpected token."""
+
+    def __init__(self, message, token=None):
+        self.token = token
+        if token is not None and token.line is not None:
+            message = "line %d:%d: %s (near %r)" % (
+                token.line, token.col, message, token.value)
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis cannot produce a result it must."""
+
+
+class TransformError(ReproError):
+    """Raised when a transformation is applied to code it cannot handle."""
+
+
+class NotTransformable(TransformError):
+    """Raised when a kernel is legal CUDA but outside a pass's legality rules.
+
+    Section III-C of the paper: kernels that synchronize via barriers or use
+    shared memory are skipped by thresholding. Callers may catch this and
+    leave the launch site untouched.
+    """
+
+
+class CodegenError(ReproError):
+    """Raised when the engine cannot translate an AST construct to Python."""
+
+
+class SimulationError(ReproError):
+    """Raised on inconsistencies inside the timing simulation."""
+
+
+class RuntimeLaunchError(ReproError):
+    """Raised by the host runtime on invalid launches or allocations."""

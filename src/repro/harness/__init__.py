@@ -1,0 +1,25 @@
+"""Experiment harness: variants, runner, tuning, and figure regeneration."""
+
+from .autotune import (QuickTuneResult, hill_climb, predict_threshold,
+                       quick_tune)
+from .figures import (BreakdownFigure, FixedThresholdResult, SpeedupFigure,
+                      SweepFigure, Table1Result, figure9, figure10, figure11,
+                      figure12, fixed_threshold_study, table1)
+from .runner import (RunResult, child_launch_sizes, geomean, outputs_match,
+                     run_variant)
+from .tuning import (FULL_THRESHOLDS, TuneOutcome, threshold_candidates,
+                     tune)
+from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
+                       TuningParams, uses, variant_to_run)
+
+__all__ = [
+    "QuickTuneResult", "hill_climb", "predict_threshold", "quick_tune",
+    "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
+    "Table1Result", "figure9", "figure10", "figure11", "figure12",
+    "fixed_threshold_study", "table1",
+    "RunResult", "child_launch_sizes", "geomean", "outputs_match",
+    "run_variant",
+    "FULL_THRESHOLDS", "TuneOutcome", "threshold_candidates", "tune",
+    "ALL_GRANULARITIES", "KLAP_GRANULARITIES", "VARIANT_LABELS",
+    "TuningParams", "uses", "variant_to_run",
+]

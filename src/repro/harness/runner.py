@@ -1,0 +1,97 @@
+"""Run one benchmark variant and collect everything the figures need."""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..sim.config import DeviceConfig
+from .variants import TuningParams, variant_to_run
+
+
+@dataclass
+class RunResult:
+    """One (benchmark, dataset, variant, params) measurement."""
+
+    benchmark: str
+    dataset: str
+    label: str
+    params: TuningParams
+    total_time: int
+    breakdown: dict                 # Fig. 10 component cycles
+    device_launches: int
+    host_agg_launches: int
+    launch_queue_wait: int
+    outputs: Optional[dict] = None
+
+    def speedup_over(self, other):
+        return other.total_time / max(self.total_time, 1)
+
+
+def outputs_match(a, b, rtol=1e-9):
+    """Cross-variant correctness check on driver outputs."""
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        if a[key].dtype.kind == "f":
+            if not np.allclose(a[key], b[key], rtol=rtol, atol=1e-12):
+                return False
+        elif not np.array_equal(a[key], b[key]):
+            return False
+    return True
+
+
+def run_variant(bench, data, label, params=None, device_config=None,
+                keep_outputs=False, check_against=None):
+    """Execute one variant; returns a :class:`RunResult`.
+
+    If *check_against* (a reference outputs dict) is given, raises on any
+    output mismatch — the transformations must never change results.
+    """
+    params = params or TuningParams()
+    device_config = device_config or DeviceConfig()
+    variant, config = variant_to_run(label, params)
+    outputs, timing, device = bench.run(data, variant, config,
+                                        device_config=device_config)
+    if check_against is not None and not outputs_match(check_against,
+                                                       outputs):
+        raise ReproError(
+            "%s on %s with %s produced different outputs than the reference"
+            % (label, bench.name, params.describe()))
+    component = device.breakdown()
+    return RunResult(
+        benchmark=bench.name,
+        dataset=getattr(data, "name", "?"),
+        label=label,
+        params=params,
+        total_time=timing.total_time,
+        breakdown=component.as_dict(),
+        device_launches=timing.device_launches,
+        host_agg_launches=timing.host_agg_launches,
+        launch_queue_wait=timing.launch_queue_wait,
+        outputs=outputs if keep_outputs else None,
+    )
+
+
+def geomean(values):
+    """Geometric mean of positive numbers (the paper's summary statistic)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def child_launch_sizes(bench, data):
+    """Thread counts of every dynamic launch the CDP version performs.
+
+    Used to bound the threshold sweep ("not tuned beyond the largest dynamic
+    launch size", Sec. VII) and by the guided tuner.
+    """
+    outputs, timing, device = bench.run(data, "cdp")
+    sizes = []
+    for grid in device.trace.grids:
+        if grid.is_dynamic:
+            sizes.append(grid.grid_dim * grid.block_dim)
+    return sizes

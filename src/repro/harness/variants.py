@@ -1,0 +1,72 @@
+"""The evaluation's code-version matrix (Sec. VII).
+
+The paper compares: No CDP, CDP, KLAP (CDP+A — aggregation alone, as in
+prior work), and every combination of the three optimizations. ``KLAP``
+restricts aggregation to the granularities prior work supports (warp, block,
+grid); the ``+A`` of this paper's combinations may also use multi-block.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..transforms import OptConfig
+
+#: Figure 9 / 12 series, in the paper's legend order.
+VARIANT_LABELS = (
+    "No CDP", "CDP", "KLAP (CDP+A)", "CDP+T", "CDP+C", "CDP+T+C",
+    "CDP+T+A", "CDP+C+A", "CDP+T+C+A",
+)
+
+#: Granularities available to prior work (KLAP) vs. this paper.
+KLAP_GRANULARITIES = ("warp", "block", "grid")
+ALL_GRANULARITIES = ("warp", "block", "multiblock", "grid")
+
+
+@dataclass(frozen=True)
+class TuningParams:
+    """One point in the tuning space of Sec. VII."""
+
+    threshold: Optional[int] = None
+    coarsen_factor: Optional[int] = None
+    granularity: Optional[str] = None
+    group_blocks: int = 8
+
+    def describe(self):
+        parts = []
+        if self.threshold is not None:
+            parts.append("T=%d" % self.threshold)
+        if self.coarsen_factor is not None:
+            parts.append("C=%d" % self.coarsen_factor)
+        if self.granularity is not None:
+            gran = self.granularity
+            if gran == "multiblock":
+                gran = "multiblock(%d)" % self.group_blocks
+            parts.append("A=%s" % gran)
+        return ",".join(parts) if parts else "-"
+
+
+def uses(label, letter):
+    """Does a variant label include optimization T/C/A?"""
+    if label == "No CDP" or label == "CDP":
+        return False
+    if label == "KLAP (CDP+A)":
+        return letter == "A"
+    return letter in label.split("+")
+
+
+def variant_to_run(label, params):
+    """Map a series label + params to ('nocdp'|'cdp', OptConfig or None)."""
+    if label == "No CDP":
+        return "nocdp", None
+    if label == "CDP":
+        return "cdp", None
+    config = OptConfig(
+        threshold=params.threshold if uses(label, "T") else None,
+        coarsen_factor=params.coarsen_factor if uses(label, "C") else None,
+        aggregate=params.granularity if uses(label, "A") else None,
+        group_blocks=params.group_blocks,
+    )
+    if (config.threshold is None and config.coarsen_factor is None
+            and config.aggregate is None):
+        return "cdp", None
+    return "cdp", config

@@ -1,0 +1,23 @@
+"""miniCUDA: a CUDA-C subset frontend (lexer, parser, AST, printer).
+
+This is the dialect the paper's source-to-source transformations operate on.
+The public surface is:
+
+>>> from repro.minicuda import parse, print_source
+>>> program = parse("__global__ void k(int *p) { p[threadIdx.x] = 1; }")
+>>> print(print_source(program))            # doctest: +SKIP
+"""
+
+from . import ast, builders
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse, parse_expr, parse_stmt
+from .printer import Printer, print_expr, print_source, print_stmt
+from .visitor import Transformer, Visitor, any_match, find_all
+
+__all__ = [
+    "ast", "builders",
+    "Lexer", "tokenize",
+    "Parser", "parse", "parse_expr", "parse_stmt",
+    "Printer", "print_expr", "print_source", "print_stmt",
+    "Transformer", "Visitor", "any_match", "find_all",
+]

@@ -1,0 +1,145 @@
+"""Convenience constructors for building AST fragments inside transforms.
+
+These helpers keep the transformation passes readable: the passes assemble
+non-trivial code (Fig. 3, 6, 7 of the paper) and doing so with raw dataclass
+constructors would bury the logic in noise.
+"""
+
+from . import ast
+
+
+def ident(name):
+    return ast.Ident(name)
+
+
+def lit(value):
+    if isinstance(value, bool):
+        return ast.BoolLit(value)
+    if isinstance(value, int):
+        return ast.IntLit(value)
+    if isinstance(value, float):
+        return ast.FloatLit(value)
+    raise TypeError("cannot make literal from %r" % (value,))
+
+
+def _as_expr(value):
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, str):
+        return ast.Ident(value)
+    return lit(value)
+
+
+def binop(op, lhs, rhs):
+    return ast.Binary(op, _as_expr(lhs), _as_expr(rhs))
+
+
+def add(lhs, rhs):
+    return binop("+", lhs, rhs)
+
+
+def sub(lhs, rhs):
+    return binop("-", lhs, rhs)
+
+
+def mul(lhs, rhs):
+    return binop("*", lhs, rhs)
+
+
+def div(lhs, rhs):
+    return binop("/", lhs, rhs)
+
+
+def lt(lhs, rhs):
+    return binop("<", lhs, rhs)
+
+
+def ge(lhs, rhs):
+    return binop(">=", lhs, rhs)
+
+
+def eq(lhs, rhs):
+    return binop("==", lhs, rhs)
+
+
+def ceil_div(n, d):
+    """``(n + d - 1) / d`` — the canonical integer ceiling division."""
+    return div(sub(add(_as_expr(n), _as_expr(d)), lit(1)), _as_expr(d))
+
+
+def assign(target, value, op="="):
+    return ast.Assign(op, _as_expr(target), _as_expr(value))
+
+
+def member(obj, attr):
+    return ast.Member(_as_expr(obj), attr)
+
+
+def index(base, idx):
+    return ast.Index(_as_expr(base), _as_expr(idx))
+
+
+def call(func, *args):
+    return ast.Call(_as_expr(func), [_as_expr(a) for a in args])
+
+
+def address_of(expr):
+    return ast.Unary("&", _as_expr(expr))
+
+
+def expr_stmt(expr):
+    return ast.ExprStmt(_as_expr(expr))
+
+
+def decl(type_, name, init=None, qualifiers=()):
+    init_expr = None if init is None else _as_expr(init)
+    return ast.DeclStmt([ast.VarDecl(type_, name, init_expr, tuple(qualifiers))])
+
+
+def decl_int(name, init=None):
+    return decl(ast.INT.clone(), name, init)
+
+
+def decl_dim3(name, init=None):
+    return decl(ast.DIM3.clone(), name, init)
+
+
+def block(*stmts):
+    flat = []
+    for stmt in stmts:
+        if stmt is None:
+            continue
+        if isinstance(stmt, (list, tuple)):
+            flat.extend(s for s in stmt if s is not None)
+        else:
+            flat.append(stmt)
+    return ast.Compound(flat)
+
+
+def if_stmt(cond, then, orelse=None):
+    then_block = then if isinstance(then, ast.Stmt) else block(*then)
+    else_block = None
+    if orelse is not None:
+        else_block = orelse if isinstance(orelse, ast.Stmt) else block(*orelse)
+    return ast.If(_as_expr(cond), then_block, else_block)
+
+
+def for_range(var, start, bound, body, step=1):
+    """``for (var = start; var < bound; var += step) body`` over an
+    already-declared int variable *var*."""
+    body_block = body if isinstance(body, ast.Stmt) else block(*body)
+    return ast.For(
+        ast.ExprStmt(assign(var, start)),
+        lt(ident(var), _as_expr(bound)),
+        assign(var, step, op="+="),
+        body_block)
+
+
+def for_decl_range(var, start, bound, body, step=1):
+    """``for (int var = start; var < bound; var += step) body``."""
+    body_block = body if isinstance(body, ast.Stmt) else block(*body)
+    return ast.For(
+        decl_int(var, start),
+        lt(ident(var), _as_expr(bound)),
+        assign(var, step, op="+="),
+        body_block)

@@ -1,0 +1,178 @@
+"""Tokenizer for the miniCUDA dialect.
+
+The lexer handles C-style line and block comments, integer and floating
+literals (including suffixes like ``1024u``, ``1.0f``), string and char
+literals (used only for diagnostics), identifiers, keywords, and the
+punctuator set in :mod:`repro.minicuda.tokens` — notably the CUDA launch
+delimiters ``<<<`` and ``>>>``.
+"""
+
+from ..errors import LexError
+from .tokens import (CHAR, EOF, FLOAT, IDENT, INT, KEYWORD, KEYWORDS, PUNCT,
+                     PUNCTUATORS, STRING, Token)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+_SUFFIX_CHARS = frozenset("fFuUlL")
+
+
+class Lexer:
+    """Single-pass tokenizer. Use :func:`tokenize` for the common case."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self):
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == EOF:
+                return tokens
+
+    # -- internals --------------------------------------------------------
+
+    def _error(self, message):
+        raise LexError(message, self.line, self.col)
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_trivia(self):
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in (" ", "\t", "\r", "\n"):
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self._error("unterminated block comment")
+            elif ch == "#":
+                # Preprocessor lines (e.g. #define _THRESHOLD 128) are not
+                # part of the dialect; skip to end of line so sources that
+                # carry them still lex.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_trivia()
+        line, col = self.line, self.col
+        ch = self._peek()
+        if not ch:
+            return Token(EOF, "", line, col)
+        if ch in _IDENT_START:
+            return self._lex_ident(line, col)
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+        if ch == "'":
+            return self._lex_char(line, col)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, line, col)
+        self._error("unexpected character %r" % ch)
+
+    def _lex_ident(self, line, col):
+        start = self.pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = KEYWORD if text in KEYWORDS else IDENT
+        return Token(kind, text, line, col)
+
+    def _lex_number(self, line, col):
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+        else:
+            while self._peek() in _DIGITS:
+                self._advance()
+            if self._peek() == "." and self._peek(1) != ".":
+                is_float = True
+                self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+            if self._peek() in ("e", "E") and (
+                    self._peek(1) in _DIGITS
+                    or (self._peek(1) in ("+", "-") and self._peek(2) in _DIGITS)):
+                is_float = True
+                self._advance()
+                if self._peek() in ("+", "-"):
+                    self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+        text = self.source[start:self.pos]
+        # Suffixes: f/F force float; u/U/l/L are kept on integers but do not
+        # change the token kind.
+        while self._peek() in _SUFFIX_CHARS:
+            if self._peek() in ("f", "F"):
+                is_float = True
+            text += self._peek()
+            self._advance()
+        return Token(FLOAT if is_float else INT, text, line, col)
+
+    def _lex_string(self, line, col):
+        self._advance()
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self.pos >= len(self.source):
+            self._error("unterminated string literal")
+        text = self.source[start:self.pos]
+        self._advance()
+        return Token(STRING, text, line, col)
+
+    def _lex_char(self, line, col):
+        self._advance()
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != "'":
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self.pos >= len(self.source):
+            self._error("unterminated char literal")
+        text = self.source[start:self.pos]
+        self._advance()
+        return Token(CHAR, text, line, col)
+
+
+def tokenize(source):
+    """Tokenize *source* and return the token list (terminated by EOF)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,466 @@
+"""Recursive-descent parser for the miniCUDA dialect.
+
+The grammar is the C expression/statement core plus the CUDA constructs the
+paper's transformations operate on: ``__global__``/``__device__`` functions,
+declaration qualifiers, ``dim3``, and the dynamic launch form
+``kernel<<<grid, block[, shmem[, stream]]>>>(args)``.
+"""
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import CHAR, EOF, FLOAT, IDENT, INT, KEYWORD, PUNCT, STRING
+
+# Binary operator precedence, higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+_BASE_TYPE_KEYWORDS = frozenset(
+    {"void", "int", "long", "short", "unsigned", "float", "double", "bool",
+     "char"})
+
+_DECL_QUALIFIERS = frozenset(
+    {"__global__", "__device__", "__host__", "__shared__", "__constant__",
+     "extern", "static", "inline", "__forceinline__"})
+
+# Identifier-spelled type names (not C keywords).
+_TYPE_IDENTS = frozenset({"dim3", "size_t", "uint"})
+
+
+class Parser:
+    """Parser over a token list. Use :func:`parse` for the common case."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def _check_punct(self, value):
+        return self._peek().is_punct(value)
+
+    def _accept_punct(self, value):
+        if self._check_punct(value):
+            return self._advance()
+        return None
+
+    def _expect_punct(self, value):
+        if not self._check_punct(value):
+            raise ParseError("expected %r" % value, self._peek())
+        return self._advance()
+
+    def _accept_keyword(self, value):
+        if self._peek().is_keyword(value):
+            return self._advance()
+        return None
+
+    def _expect_ident(self):
+        token = self._peek()
+        if token.kind != IDENT:
+            raise ParseError("expected identifier", token)
+        return self._advance().value
+
+    # -- types -------------------------------------------------------------
+
+    def _at_type(self, offset=0):
+        """True if the token at *offset* starts a type (not counting quals)."""
+        token = self._peek(offset)
+        if token.kind == KEYWORD and token.value in _BASE_TYPE_KEYWORDS:
+            return True
+        if token.kind == KEYWORD and token.value == "const":
+            return self._at_type(offset + 1)
+        return token.kind == IDENT and token.value in _TYPE_IDENTS
+
+    def _at_declaration(self):
+        offset = 0
+        while (self._peek(offset).kind == KEYWORD
+               and self._peek(offset).value in _DECL_QUALIFIERS):
+            offset += 1
+        return self._at_type(offset)
+
+    def _parse_qualifiers(self):
+        qualifiers = []
+        while (self._peek().kind == KEYWORD
+               and self._peek().value in _DECL_QUALIFIERS):
+            qualifiers.append(self._advance().value)
+        return tuple(qualifiers)
+
+    def _parse_base_type(self):
+        const = bool(self._accept_keyword("const"))
+        token = self._peek()
+        words = []
+        while (self._peek().kind == KEYWORD
+               and self._peek().value in _BASE_TYPE_KEYWORDS):
+            words.append(self._advance().value)
+        if not words:
+            if token.kind == IDENT and token.value in _TYPE_IDENTS:
+                words.append(self._advance().value)
+            else:
+                raise ParseError("expected type name", token)
+        if not const:
+            const = bool(self._accept_keyword("const"))
+        return ast.Type(" ".join(words), 0, const)
+
+    def _parse_pointers(self, base):
+        result = base
+        while self._accept_punct("*"):
+            self._accept_keyword("const")
+            while self._peek().is_keyword("__restrict__"):
+                self._advance()
+            result = result.pointer_to()
+        return result
+
+    def _parse_type(self):
+        return self._parse_pointers(self._parse_base_type())
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self):
+        return self._parse_assignment()
+
+    def _parse_assignment(self):
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.kind == PUNCT and token.value in _ASSIGN_OPS:
+            op = self._advance().value
+            value = self._parse_assignment()
+            return ast.Assign(op, left, value)
+        return left
+
+    def _parse_ternary(self):
+        cond = self._parse_binary(0)
+        if self._accept_punct("?"):
+            then = self._parse_assignment()
+            self._expect_punct(":")
+            orelse = self._parse_assignment()
+            return ast.Ternary(cond, then, orelse)
+        return cond
+
+    def _parse_binary(self, min_precedence):
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            precedence = _BINARY_PRECEDENCE.get(
+                token.value if token.kind == PUNCT else None, -1)
+            if precedence < min_precedence or precedence == -1:
+                return left
+            op = self._advance().value
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(op, left, right)
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.kind == PUNCT and token.value in ("-", "+", "!", "~", "&", "*"):
+            self._advance()
+            return ast.Unary(token.value, self._parse_unary())
+        if token.kind == PUNCT and token.value in ("++", "--"):
+            self._advance()
+            return ast.Unary(token.value, self._parse_unary())
+        if token.is_punct("(") and self._at_type(1):
+            # A cast: "(" type ")" unary.
+            self._advance()
+            cast_type = self._parse_type()
+            self._expect_punct(")")
+            return ast.Cast(cast_type, self._parse_unary())
+        if token.is_keyword("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            if self._at_type():
+                self._parse_type()
+            else:
+                self.parse_expression()
+            self._expect_punct(")")
+            # sizeof of our scalar types is modelled as 4 bytes.
+            return ast.IntLit(4, "sizeof")
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self._accept_punct("["):
+                index = self.parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(expr, index)
+            elif self._check_punct("<<<") and isinstance(expr, ast.Ident):
+                expr = self._parse_launch(expr.name)
+            elif self._accept_punct("("):
+                args = self._parse_call_args()
+                expr = ast.Call(expr, args)
+            elif self._accept_punct("."):
+                expr = ast.Member(expr, self._expect_ident())
+            elif self._accept_punct("->"):
+                expr = ast.Member(expr, self._expect_ident(), arrow=True)
+            elif self._check_punct("++") or self._check_punct("--"):
+                op = self._advance().value
+                expr = ast.Unary(op, expr, postfix=True)
+            else:
+                return expr
+
+    def _parse_call_args(self):
+        args = []
+        if not self._check_punct(")"):
+            args.append(self.parse_expression())
+            while self._accept_punct(","):
+                args.append(self.parse_expression())
+        self._expect_punct(")")
+        return args
+
+    def _parse_launch(self, kernel_name):
+        self._expect_punct("<<<")
+        grid = self.parse_expression()
+        self._expect_punct(",")
+        block = self.parse_expression()
+        shmem = stream = None
+        if self._accept_punct(","):
+            shmem = self.parse_expression()
+            if self._accept_punct(","):
+                stream = self.parse_expression()
+        self._expect_punct(">>>")
+        self._expect_punct("(")
+        args = self._parse_call_args()
+        return ast.Launch(kernel_name, grid, block, args, shmem, stream)
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind == INT:
+            self._advance()
+            text = token.value
+            base = 16 if text.lower().startswith("0x") else 10
+            return ast.IntLit(int(text.rstrip("uUlL"), base), text)
+        if token.kind == FLOAT:
+            self._advance()
+            return ast.FloatLit(float(token.value.rstrip("fFlL")), token.value)
+        if token.kind == STRING:
+            self._advance()
+            return ast.StrLit(token.value)
+        if token.kind == CHAR:
+            self._advance()
+            value = token.value
+            return ast.IntLit(ord(value[0]) if value else 0, "'%s'" % value)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BoolLit(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLit(False)
+        if token.kind == IDENT:
+            self._advance()
+            return ast.Ident(token.value)
+        if self._accept_punct("("):
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_compound()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self._check_punct(";"):
+                value = self.parse_expression()
+            self._expect_punct(";")
+            return ast.Return(value)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break()
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue()
+        if token.is_punct(";"):
+            self._advance()
+            return ast.Compound([])
+        if self._at_declaration():
+            decl = self._parse_decl_stmt()
+            self._expect_punct(";")
+            return decl
+        expr = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr)
+
+    def _parse_compound(self):
+        self._expect_punct("{")
+        stmts = []
+        while not self._check_punct("}"):
+            if self._peek().kind == EOF:
+                raise ParseError("unterminated block", self._peek())
+            stmts.append(self.parse_statement())
+        self._advance()
+        return ast.Compound(stmts)
+
+    def _parse_decl_stmt(self):
+        qualifiers = self._parse_qualifiers()
+        base = self._parse_base_type()
+        decls = []
+        while True:
+            decl_type = self._parse_pointers(base.clone())
+            name = self._expect_ident()
+            array_size = None
+            if self._accept_punct("["):
+                if not self._check_punct("]"):
+                    array_size = self.parse_expression()
+                self._expect_punct("]")
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_assignment()
+            decls.append(
+                ast.VarDecl(decl_type, name, init, qualifiers, array_size))
+            if not self._accept_punct(","):
+                break
+        return ast.DeclStmt(decls)
+
+    def _parse_if(self):
+        self._advance()
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        then = self.parse_statement()
+        orelse = None
+        if self._accept_keyword("else"):
+            orelse = self.parse_statement()
+        return ast.If(cond, then, orelse)
+
+    def _parse_for(self):
+        self._advance()
+        self._expect_punct("(")
+        init = None
+        if not self._check_punct(";"):
+            if self._at_declaration():
+                init = self._parse_decl_stmt()
+            else:
+                init = ast.ExprStmt(self.parse_expression())
+        self._expect_punct(";")
+        cond = None
+        if not self._check_punct(";"):
+            cond = self.parse_expression()
+        self._expect_punct(";")
+        step = None
+        if not self._check_punct(")"):
+            step = self.parse_expression()
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body)
+
+    def _parse_while(self):
+        self._advance()
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        return ast.While(cond, self.parse_statement())
+
+    def _parse_do_while(self):
+        self._advance()
+        body = self.parse_statement()
+        if not self._accept_keyword("while"):
+            raise ParseError("expected 'while' after do-body", self._peek())
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(body, cond)
+
+    # -- declarations ------------------------------------------------------
+
+    def parse_program(self):
+        decls = []
+        while self._peek().kind != EOF:
+            decls.append(self._parse_top_level())
+        return ast.Program(decls)
+
+    def _parse_top_level(self):
+        qualifiers = self._parse_qualifiers()
+        base = self._parse_base_type()
+        decl_type = self._parse_pointers(base)
+        name = self._expect_ident()
+        if self._check_punct("("):
+            return self._parse_function(qualifiers, decl_type, name)
+        # File-scope variable (e.g. __device__ int counter;).
+        array_size = None
+        if self._accept_punct("["):
+            if not self._check_punct("]"):
+                array_size = self.parse_expression()
+            self._expect_punct("]")
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_assignment()
+        self._expect_punct(";")
+        return ast.DeclStmt(
+            [ast.VarDecl(decl_type, name, init, qualifiers, array_size)])
+
+    def _parse_function(self, qualifiers, ret_type, name):
+        self._expect_punct("(")
+        params = []
+        if not self._check_punct(")"):
+            params.append(self._parse_param())
+            while self._accept_punct(","):
+                params.append(self._parse_param())
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            return ast.FunctionDef(qualifiers, ret_type, name, params, None)
+        body = self._parse_compound()
+        return ast.FunctionDef(qualifiers, ret_type, name, params, body)
+
+    def _parse_param(self):
+        param_type = self._parse_type()
+        name = self._expect_ident()
+        return ast.Param(param_type, name)
+
+
+def parse(source):
+    """Parse miniCUDA *source* text into a :class:`~repro.minicuda.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source):
+    """Parse a single expression (used by tests and analyses)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expression()
+    if parser._peek().kind != EOF:
+        raise ParseError("trailing input after expression", parser._peek())
+    return expr
+
+
+def parse_stmt(source):
+    """Parse a single statement (used by tests and transforms)."""
+    parser = Parser(tokenize(source))
+    stmt = parser.parse_statement()
+    if parser._peek().kind != EOF:
+        raise ParseError("trailing input after statement", parser._peek())
+    return stmt

@@ -1,0 +1,213 @@
+"""Pretty-printer: miniCUDA AST back to compilable-looking source text.
+
+The printer emits minimal parentheses based on C operator precedence, so a
+parse → print → parse round trip yields a structurally identical AST (this
+invariant is enforced by property-based tests).
+"""
+
+from . import ast
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_LEVEL = -1
+_TERNARY_LEVEL = 0
+_UNARY_LEVEL = 11
+_POSTFIX_LEVEL = 12
+
+
+class Printer:
+    """Stateful printer; use :func:`print_source` / :func:`print_expr`."""
+
+    def __init__(self, indent="    "):
+        self.indent = indent
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, node, parent_level=_ASSIGN_LEVEL):
+        text, level = self._expr(node)
+        if level < parent_level:
+            return "(" + text + ")"
+        return text
+
+    def _expr(self, node):
+        if isinstance(node, ast.IntLit):
+            return node.text or str(node.value), _POSTFIX_LEVEL
+        if isinstance(node, ast.FloatLit):
+            return node.text or repr(node.value), _POSTFIX_LEVEL
+        if isinstance(node, ast.BoolLit):
+            return "true" if node.value else "false", _POSTFIX_LEVEL
+        if isinstance(node, ast.StrLit):
+            return '"%s"' % node.value, _POSTFIX_LEVEL
+        if isinstance(node, ast.Ident):
+            return node.name, _POSTFIX_LEVEL
+        if isinstance(node, ast.Member):
+            op = "->" if node.arrow else "."
+            return self.expr(node.obj, _POSTFIX_LEVEL) + op + node.attr, \
+                _POSTFIX_LEVEL
+        if isinstance(node, ast.Index):
+            return "%s[%s]" % (self.expr(node.base, _POSTFIX_LEVEL),
+                               self.expr(node.index)), _POSTFIX_LEVEL
+        if isinstance(node, ast.Call):
+            args = ", ".join(self.expr(a) for a in node.args)
+            return "%s(%s)" % (self.expr(node.func, _POSTFIX_LEVEL), args), \
+                _POSTFIX_LEVEL
+        if isinstance(node, ast.Launch):
+            config = [self.expr(node.grid), self.expr(node.block)]
+            if node.shmem is not None:
+                config.append(self.expr(node.shmem))
+            if node.stream is not None:
+                config.append(self.expr(node.stream))
+            args = ", ".join(self.expr(a) for a in node.args)
+            return "%s<<<%s>>>(%s)" % (node.kernel, ", ".join(config), args), \
+                _POSTFIX_LEVEL
+        if isinstance(node, ast.Unary):
+            if node.postfix:
+                return self.expr(node.operand, _POSTFIX_LEVEL) + node.op, \
+                    _POSTFIX_LEVEL
+            operand = self.expr(node.operand, _UNARY_LEVEL)
+            # Avoid gluing "- -x" into "--x".
+            if node.op in ("-", "+", "&", "*") and operand.startswith(node.op):
+                operand = " " + operand
+            return node.op + operand, _UNARY_LEVEL
+        if isinstance(node, ast.Cast):
+            return "(%s)%s" % (self.type_text(node.type),
+                               self.expr(node.operand, _UNARY_LEVEL)), \
+                _UNARY_LEVEL
+        if isinstance(node, ast.Binary):
+            level = _PRECEDENCE[node.op]
+            lhs = self.expr(node.lhs, level)
+            rhs = self.expr(node.rhs, level + 1)
+            return "%s %s %s" % (lhs, node.op, rhs), level
+        if isinstance(node, ast.Ternary):
+            return "%s ? %s : %s" % (
+                self.expr(node.cond, _TERNARY_LEVEL + 1),
+                self.expr(node.then),
+                self.expr(node.orelse)), _TERNARY_LEVEL
+        if isinstance(node, ast.Assign):
+            return "%s %s %s" % (
+                self.expr(node.target, _UNARY_LEVEL),
+                node.op,
+                self.expr(node.value, _ASSIGN_LEVEL)), _ASSIGN_LEVEL
+        raise TypeError("cannot print expression node %r" % type(node).__name__)
+
+    # -- types ----------------------------------------------------------------
+
+    def type_text(self, node):
+        text = "const " + node.name if node.const else node.name
+        if node.pointers:
+            text += " " + "*" * node.pointers
+        return text
+
+    # -- statements -------------------------------------------------------
+
+    def stmt(self, node, depth=0):
+        pad = self.indent * depth
+        if isinstance(node, ast.Compound):
+            lines = [pad + "{"]
+            for child in node.stmts:
+                lines.append(self.stmt(child, depth + 1))
+            lines.append(pad + "}")
+            return "\n".join(lines)
+        if isinstance(node, ast.ExprStmt):
+            return pad + self.expr(node.expr) + ";"
+        if isinstance(node, ast.DeclStmt):
+            return pad + self.decl_text(node) + ";"
+        if isinstance(node, ast.If):
+            text = pad + "if (%s)" % self.expr(node.cond)
+            text += "\n" + self._nested(node.then, depth)
+            if node.orelse is not None:
+                text += "\n" + pad + "else"
+                text += "\n" + self._nested(node.orelse, depth)
+            return text
+        if isinstance(node, ast.For):
+            init = ""
+            if isinstance(node.init, ast.DeclStmt):
+                init = self.decl_text(node.init)
+            elif isinstance(node.init, ast.ExprStmt):
+                init = self.expr(node.init.expr)
+            cond = self.expr(node.cond) if node.cond is not None else ""
+            step = self.expr(node.step) if node.step is not None else ""
+            head = pad + "for (%s; %s; %s)" % (init, cond, step)
+            return head + "\n" + self._nested(node.body, depth)
+        if isinstance(node, ast.While):
+            return (pad + "while (%s)\n" % self.expr(node.cond)
+                    + self._nested(node.body, depth))
+        if isinstance(node, ast.DoWhile):
+            return (pad + "do\n" + self._nested(node.body, depth)
+                    + "\n" + pad + "while (%s);" % self.expr(node.cond))
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                return pad + "return;"
+            return pad + "return %s;" % self.expr(node.value)
+        if isinstance(node, ast.Break):
+            return pad + "break;"
+        if isinstance(node, ast.Continue):
+            return pad + "continue;"
+        raise TypeError("cannot print statement node %r" % type(node).__name__)
+
+    def _nested(self, node, depth):
+        if isinstance(node, ast.Compound):
+            return self.stmt(node, depth)
+        return self.stmt(node, depth + 1)
+
+    def decl_text(self, node):
+        parts = []
+        first = node.decls[0]
+        prefix = " ".join(first.qualifiers)
+        for decl in node.decls:
+            text = "*" * decl.type.pointers + decl.name
+            if decl.array_size is not None:
+                text += "[%s]" % self.expr(decl.array_size)
+            if decl.init is not None:
+                text += " = " + self.expr(decl.init)
+            parts.append(text)
+        qual = (prefix + " ") if prefix else ""
+        const = "const " if first.type.const else ""
+        return qual + const + first.type.name + " " + ", ".join(parts)
+
+    # -- declarations ------------------------------------------------------
+
+    def function(self, node):
+        qual = " ".join(node.qualifiers)
+        params = ", ".join(
+            "%s %s" % (self.type_text(p.type), p.name) for p in node.params)
+        head = "%s%s %s(%s)" % (
+            (qual + " ") if qual else "", self.type_text(node.ret_type),
+            node.name, params)
+        if node.body is None:
+            return head + ";"
+        return head + " " + self.stmt(node.body).lstrip()
+
+    def program(self, node):
+        chunks = []
+        for decl in node.decls:
+            if isinstance(decl, ast.FunctionDef):
+                chunks.append(self.function(decl))
+            elif isinstance(decl, ast.DeclStmt):
+                chunks.append(self.decl_text(decl) + ";")
+            else:
+                raise TypeError(
+                    "cannot print top-level node %r" % type(decl).__name__)
+        return "\n\n".join(chunks) + "\n"
+
+
+def print_source(program, indent="    "):
+    """Render a full program AST to source text."""
+    return Printer(indent).program(program)
+
+
+def print_expr(expr):
+    """Render a single expression AST to source text."""
+    return Printer().expr(expr)
+
+
+def print_stmt(stmt, depth=0):
+    """Render a single statement AST to source text."""
+    return Printer().stmt(stmt, depth)

@@ -1,0 +1,53 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from dataclasses import dataclass
+
+# Token kinds. Kept as plain strings: they read well in parser code and in
+# error messages, and there is exactly one producer (the lexer).
+IDENT = "IDENT"
+INT = "INT"
+FLOAT = "FLOAT"
+STRING = "STRING"
+CHAR = "CHAR"
+PUNCT = "PUNCT"
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+KEYWORDS = frozenset({
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "void", "int", "long", "unsigned", "float", "double", "bool", "char",
+    "short", "const", "struct", "true", "false", "sizeof",
+    # CUDA declaration qualifiers.
+    "__global__", "__device__", "__host__", "__shared__", "__constant__",
+    "__restrict__", "extern", "static", "inline", "__forceinline__",
+})
+
+# Multi-character punctuators, longest first so maximal munch works by
+# scanning this tuple in order.
+PUNCTUATORS = (
+    "<<<", ">>>",
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+
+@dataclass
+class Token:
+    """One lexical token with its source position (1-based line/col)."""
+
+    kind: str
+    value: str
+    line: int = 0
+    col: int = 0
+
+    def is_punct(self, value):
+        return self.kind == PUNCT and self.value == value
+
+    def is_keyword(self, value):
+        return self.kind == KEYWORD and self.value == value
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.value, self.line, self.col)

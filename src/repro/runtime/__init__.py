@@ -1,0 +1,5 @@
+"""Host-side runtime API (device memory, launches, sync, timing)."""
+
+from .host import Device, blocks
+
+__all__ = ["Device", "blocks"]

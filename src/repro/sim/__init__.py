@@ -1,0 +1,15 @@
+"""GPU timing simulation: device model, event-driven scheduler, metrics."""
+
+from .config import DeviceConfig
+from .costmodel import CostModel, call_cost
+from .metrics import Breakdown, breakdown
+from .scheduler import Simulator, TimingResult, simulate
+from .trace import (DEVICE, HOST, HOST_AGG, BlockCost, GridRecord,
+                    LaunchRecord, Trace)
+
+__all__ = [
+    "DeviceConfig", "CostModel", "call_cost", "Breakdown", "breakdown",
+    "Simulator", "TimingResult", "simulate",
+    "DEVICE", "HOST", "HOST_AGG", "BlockCost", "GridRecord", "LaunchRecord",
+    "Trace",
+]

@@ -1,0 +1,71 @@
+"""Cycle cost model.
+
+The engine counts the *work* of each simulated thread in abstract cycles
+using these per-operation weights; the scheduler (:mod:`repro.sim.scheduler`)
+turns per-block work into time on a device model. Absolute values are not
+calibrated to any physical GPU — what matters for reproducing the paper is
+the *ratio* structure: memory ≫ ALU, atomics ≫ memory, launches ≫ atomics,
+host round-trips ≫ device launches.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle weights used at code-generation time."""
+
+    alu: int = 1              # arithmetic / logic / comparison
+    mem: int = 10             # amortized global-memory access
+    atomic: int = 24          # global atomic RMW
+    fence: int = 12           # __threadfence
+    sync: int = 8             # __syncthreads
+    math_fn: int = 8          # transcendental / sqrt / ceil
+    call: int = 2             # device-function call overhead
+    launch_issue: int = 220   # parent-side cost of issuing a dynamic launch
+    cdp_code_tax: int = 40    # per-thread overhead of kernels that merely
+                              # *contain* a dynamic launch (Sec. VIII-D:
+                              # extra instructions are generated and executed
+                              # even when the launch never runs)
+
+    def call_cost(self, name):
+        """Weight of one intrinsic call by name (0 for unknown/device)."""
+        return _CALL_COSTS.get(name, 0)
+
+
+_ATOMICS = ("atomicAdd", "atomicSub", "atomicMax", "atomicMin",
+            "atomicCAS", "atomicExch", "atomicOr", "atomicAnd")
+_MATH = ("ceil", "ceilf", "floor", "floorf", "sqrt", "sqrtf", "rsqrtf",
+         "exp", "expf", "log", "logf", "pow", "powf", "tanh", "tanhf")
+_CHEAP = ("min", "max", "abs", "fabs", "fabsf", "fminf", "fmaxf", "dim3")
+
+_DEFAULT = CostModel()
+_CALL_COSTS = {}
+for _name in _ATOMICS:
+    _CALL_COSTS[_name] = _DEFAULT.atomic
+for _name in _MATH:
+    _CALL_COSTS[_name] = _DEFAULT.math_fn
+for _name in _CHEAP:
+    _CALL_COSTS[_name] = _DEFAULT.alu
+_CALL_COSTS["__threadfence"] = _DEFAULT.fence
+_CALL_COSTS["__threadfence_block"] = _DEFAULT.fence
+_CALL_COSTS["printf"] = _DEFAULT.alu
+_CALL_COSTS["cudaMalloc"] = _DEFAULT.mem
+
+
+def call_cost(cost_model, name):
+    """Weight of one intrinsic call under *cost_model* (scaled from default
+    ratios so custom models keep sensible relative costs)."""
+    if name in _ATOMICS:
+        return cost_model.atomic
+    if name in _MATH:
+        return cost_model.math_fn
+    if name in _CHEAP:
+        return cost_model.alu
+    if name in ("__threadfence", "__threadfence_block"):
+        return cost_model.fence
+    if name == "printf":
+        return cost_model.alu
+    if name == "cudaMalloc":
+        return cost_model.mem
+    return 0

@@ -1,0 +1,20 @@
+"""The paper's three source-to-source optimization passes and their driver."""
+
+from .aggregation import (AGG_GRANULARITY_MACRO, AGG_THRESHOLD_MACRO,
+                          DEFAULT_GROUP_BLOCKS, GRANULARITIES,
+                          AggregationPass)
+from .base import AggSpec, ModuleMeta, PromotionSpec, TransformResult
+from .coarsening import CFACTOR_MACRO, DEFAULT_CFACTOR, CoarseningPass
+from .pipeline import OptConfig, transform
+from .promotion import PromotionPass, find_promotable_sites
+from .thresholding import DEFAULT_THRESHOLD, THRESHOLD_MACRO, ThresholdingPass
+
+__all__ = [
+    "AGG_GRANULARITY_MACRO", "AGG_THRESHOLD_MACRO", "DEFAULT_GROUP_BLOCKS",
+    "GRANULARITIES", "AggregationPass",
+    "AggSpec", "ModuleMeta", "PromotionSpec", "TransformResult",
+    "CFACTOR_MACRO", "DEFAULT_CFACTOR", "CoarseningPass",
+    "OptConfig", "transform",
+    "PromotionPass", "find_promotable_sites",
+    "DEFAULT_THRESHOLD", "THRESHOLD_MACRO", "ThresholdingPass",
+]

@@ -1,0 +1,136 @@
+"""Promotion transformation (KLAP's second optimization; paper Sec. IX).
+
+KLAP [14] — the substrate this paper's aggregation builds on — includes a
+second optimization, *promotion*, for a pattern the paper's three passes
+deliberately do not cover: a single-block kernel that launches **itself**
+recursively (``rec<<<1, bdim>>>(...)``). Thresholding does not apply (all
+child grids have the same size), coarsening does not apply (one block), and
+aggregation does not apply (a single launching thread per grid).
+
+Promotion eliminates the recursive launches entirely by turning the
+recursion into a loop inside the kernel:
+
+* the recursive launch site stores its arguments into one-slot global
+  buffers and raises a relaunch flag;
+* the body is wrapped in ``do { ... } while(false)`` (thread-exit ``return``
+  becomes ``break``) followed by a block barrier;
+* every thread reads the flag and the new arguments, the flag is cleared,
+  and the block loops for another "round" instead of paying a kernel launch.
+
+The host runtime allocates the one-slot buffers via the
+:class:`~repro.transforms.base.PromotionSpec` recorded in the metadata,
+exactly like aggregation's buffers.
+"""
+
+from ..analysis import NameAllocator, declared_names, find_launch_sites
+from ..errors import TransformError
+from ..minicuda import ast
+from ..minicuda import builders as b
+from .base import ModuleMeta, PromotionSpec, rewrite_launches
+from .thresholding import _ReturnToContinue
+
+
+class _ReturnToBreak(_ReturnToContinue):
+    def visit_Return(self, node):
+        if self.loop_depth > 0:
+            self.nested_return = True
+            return node
+        return ast.Break()
+
+
+def find_promotable_sites(program):
+    """Self-recursive launch sites with a literal single-block grid."""
+    sites = []
+    for site in find_launch_sites(program):
+        if site.child_name != site.parent.name:
+            continue
+        grid = site.launch.grid
+        if isinstance(grid, ast.IntLit) and grid.value == 1:
+            sites.append(site)
+    return sites
+
+
+class PromotionPass:
+    """Turn single-block self-recursion into an in-kernel loop."""
+
+    def run(self, program, allocator=None):
+        allocator = allocator or NameAllocator.for_program(program)
+        meta = ModuleMeta()
+        by_kernel = {}
+        for site in find_promotable_sites(program):
+            by_kernel.setdefault(site.parent.name, []).append(site)
+        for kernel_name, sites in by_kernel.items():
+            kernel = program.function(kernel_name)
+            if len(sites) != 1:
+                meta.skipped_sites.append(
+                    (kernel_name, kernel_name,
+                     "multiple recursive launch sites"))
+                continue
+            self._promote(kernel, sites[0], meta)
+        return meta
+
+    def _promote(self, kernel, site, meta):
+        taken = declared_names(kernel)
+
+        def local(stem):
+            name = stem
+            while name in taken:
+                name = "_" + name
+            taken.add(name)
+            return name
+
+        arg_bufs = [local("_prom_arg%d" % k)
+                    for k in range(len(kernel.params))]
+        again = local("_prom_again")
+        go = local("_prom_go")
+        original_params = [p.clone() for p in kernel.params]
+
+        # 1. The recursive launch becomes stores + flag raise.
+        target_launch = site.launch
+
+        def rewrite(launch):
+            if launch is not target_launch:
+                return None
+            stmts = []
+            for buf, arg in zip(arg_bufs, launch.args):
+                stmts.append(b.expr_stmt(b.assign(b.index(buf, 0), arg)))
+            stmts.append(b.expr_stmt(b.assign(b.index(again, 0), 1)))
+            return b.block(*stmts)
+
+        rewrite_launches(kernel, rewrite)
+
+        # 2. Wrap the body: round loop + barrier + flag check + arg reload.
+        rewriter = _ReturnToBreak()
+        body = rewriter.visit(kernel.body)
+        if rewriter.nested_return:
+            raise TransformError(
+                "kernel %r has a return inside a loop; cannot promote"
+                % kernel.name)
+        round_body = ast.DoWhile(body, ast.BoolLit(False))
+        reload_stmts = [
+            b.expr_stmt(b.assign(p.name, b.index(buf, 0)))
+            for p, buf in zip(original_params, arg_bufs)
+        ]
+        loop = ast.While(ast.BoolLit(True), b.block(
+            round_body,
+            b.expr_stmt(b.call("__syncthreads")),
+            b.decl_int(go, b.index(again, 0)),
+            b.expr_stmt(b.call("__syncthreads")),
+            b.if_stmt(b.eq(b.member("threadIdx", "x"), 0),
+                      [b.expr_stmt(b.assign(b.index(again, 0), 0))]),
+            b.if_stmt(b.eq(b.ident(go), 0), [ast.Break()]),
+            reload_stmts,
+            b.expr_stmt(b.call("__syncthreads")),
+        ))
+        kernel.body = b.block(loop)
+
+        # 3. Append the buffer parameters.
+        for param, buf in zip(original_params, arg_bufs):
+            kernel.params.append(ast.Param(param.type.pointer_to(), buf))
+        kernel.params.append(ast.Param(ast.INT.pointer_to(), again))
+
+        meta.promotion_specs.append(PromotionSpec(
+            kernel=kernel.name,
+            arg_types=[p.type.clone() for p in original_params],
+            buffer_params=arg_bufs + [again],
+        ))

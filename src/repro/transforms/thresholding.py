@@ -1,0 +1,217 @@
+"""Thresholding transformation (Sec. III, Fig. 3).
+
+A dynamic launch ``child<<<gDim, bDim>>>(args)`` becomes::
+
+    T0 _arg0 = args[0]; ...                     // hoisted, evaluated once
+    int _threads = N;                           // Fig. 4 analysis result
+    dim3 _tgDim = gDim[N := _threads];          // N swapped by identity
+    dim3 _tbDim = bDim;
+    if (_threads >= _THRESHOLD)
+        child<<<_tgDim, _tbDim>>>(_arg0, ...);
+    else
+        child_serial(_arg0, ..., _tgDim, _tbDim);
+
+where ``child_serial`` is a ``__device__`` clone of the child kernel with
+loops over the (1-D) grid and block dimensions and reserved-variable uses
+rewritten (Fig. 3b lines 09-15). When the Fig. 4 analysis cannot recover the
+desired thread count the pass falls back to comparing
+``_tgDim.x * _tbDim.x`` — a conservative value, never a correctness issue
+(Sec. III-D).
+
+Kernels that use barriers, warp primitives, or shared memory are skipped
+(Sec. III-C), as are kernels whose ``return`` statements sit inside loops
+(they cannot be rewritten into per-thread ``continue``).
+"""
+
+from ..minicuda import ast
+from ..minicuda import builders as b
+from ..analysis import (NameAllocator, analyze_kernel, declared_names,
+                        find_launch_sites, find_thread_count, resolve_child)
+from ..analysis.kernel_props import dims_used as analyze_kernel_dims
+from ..minicuda.visitor import Transformer
+from .base import (ModuleMeta, insert_after, rewrite_launches,
+                   substitute_reserved, swap_node)
+
+THRESHOLD_MACRO = "_THRESHOLD"
+
+#: Default launch threshold: Sec. VIII-C reports a fixed value of 128 still
+#: captures most of the benefit across all benchmarks.
+DEFAULT_THRESHOLD = 128
+
+
+class _ReturnToContinue(Transformer):
+    """Rewrite thread-exit ``return`` into serial-loop ``continue``."""
+
+    def __init__(self):
+        self.loop_depth = 0
+        self.nested_return = False
+
+    def visit(self, node):
+        is_loop = isinstance(node, (ast.For, ast.While, ast.DoWhile))
+        if is_loop:
+            self.loop_depth += 1
+        result = super().visit(node)
+        if is_loop:
+            self.loop_depth -= 1
+        return result
+
+    def visit_Return(self, node):
+        if self.loop_depth > 0:
+            self.nested_return = True
+            return node
+        return ast.Continue()
+
+
+class ThresholdingPass:
+    """Automated thresholding (the paper's first contribution)."""
+
+    def __init__(self, threshold=DEFAULT_THRESHOLD):
+        self.threshold = threshold
+
+    def run(self, program, allocator=None):
+        """Transform every eligible dynamic launch site in *program*.
+
+        Returns the :class:`ModuleMeta` describing what was rewritten.
+        """
+        allocator = allocator or NameAllocator.for_program(program)
+        meta = ModuleMeta(macros={THRESHOLD_MACRO: self.threshold})
+        serial_names = {}
+        for site in find_launch_sites(program):
+            child = resolve_child(program, site)
+            reason = self._rejection_reason(program, child)
+            if reason is not None:
+                meta.skipped_sites.append((site.parent.name, child.name,
+                                           reason))
+                continue
+            if child.name not in serial_names:
+                serial_fn = self._build_serial(child, allocator)
+                if serial_fn is None:
+                    meta.skipped_sites.append(
+                        (site.parent.name, child.name, "return inside loop"))
+                    continue
+                insert_after(program, child.name, serial_fn)
+                serial_names[child.name] = serial_fn.name
+                meta.serial_functions.append(serial_fn.name)
+            self._rewrite_site(site, child, serial_names[child.name],
+                               allocator, meta)
+        return meta
+
+    # -- legality -----------------------------------------------------------
+
+    def _rejection_reason(self, program, child):
+        props = analyze_kernel(program, child)
+        if props.uses_barrier:
+            return "barrier synchronization"
+        if props.uses_warp_primitives:
+            return "warp-level primitives"
+        if props.uses_shared_memory:
+            return "shared memory"
+        return None
+
+    # -- serial clone (Fig. 3b lines 09-15) ------------------------------
+
+    def _build_serial(self, child, allocator):
+        taken = declared_names(child)
+
+        def local(stem):
+            name = stem
+            while name in taken:
+                name = "_" + name
+            taken.add(name)
+            return name
+
+        gdim, bdim = local("_gDim"), local("_bDim")
+        props = analyze_kernel_dims(child)
+        # 1-D children get the two loops of Fig. 3(b); multi-dimensional
+        # children get one loop per dimension, innermost-x like the
+        # hardware's linearization (Sec. III-B).
+        dims = ("x",) if props <= {"x"} else ("x", "y", "z")
+        block_vars = {d: local("_b" + d) for d in dims}
+        thread_vars = {d: local("_t" + d) for d in dims}
+
+        body = child.body.clone()
+        rewriter = _ReturnToContinue()
+        body = rewriter.visit(body)
+        if rewriter.nested_return:
+            return None
+        member_map = {}
+        for d in dims:
+            member_map[("blockIdx", d)] = b.ident(block_vars[d])
+            member_map[("threadIdx", d)] = b.ident(thread_vars[d])
+        substitute_reserved(
+            body, member_map=member_map,
+            ident_map={
+                "gridDim": b.ident(gdim),
+                "blockDim": b.ident(bdim),
+            })
+
+        loop = body
+        for d in dims:                      # x innermost
+            loop = b.for_decl_range(thread_vars[d], 0, b.member(bdim, d),
+                                    b.block(loop))
+        for d in dims:
+            loop = b.for_decl_range(block_vars[d], 0, b.member(gdim, d),
+                                    b.block(loop))
+        params = [p.clone() for p in child.params]
+        params.append(ast.Param(ast.DIM3.clone(), gdim))
+        params.append(ast.Param(ast.DIM3.clone(), bdim))
+        return ast.FunctionDef(
+            ("__device__",), ast.VOID.clone(),
+            allocator.fresh(child.name + "_serial"),
+            params, b.block(loop))
+
+    # -- launch-site rewrite (Fig. 3b lines 21-26) -------------------------
+
+    def _rewrite_site(self, site, child, serial_name, allocator, meta):
+        target_launch = site.launch
+
+        def rewrite(launch):
+            if launch is not target_launch:
+                return None
+            return self._thresholded_block(launch, child, serial_name,
+                                           allocator, meta)
+
+        rewrite_launches(site.parent, rewrite)
+
+    def _thresholded_block(self, launch, child, serial_name, allocator, meta):
+        stmts = []
+        arg_names = []
+        for param, arg in zip(child.params, launch.args):
+            name = allocator.fresh("_targ")
+            arg_names.append(name)
+            stmts.append(b.decl(param.type.clone(), name, arg))
+
+        threads_var = allocator.fresh("_threads")
+        grid_var = allocator.fresh("_tgDim")
+        block_var = allocator.fresh("_tbDim")
+
+        analysis = find_thread_count(launch.grid)
+        if analysis.exact:
+            grid_expr, swapped = swap_node(
+                launch.grid, analysis.count_expr, b.ident(threads_var))
+            assert swapped, "count expression not found inside grid expr"
+            stmts.append(b.decl_int(threads_var, analysis.count_expr))
+            stmts.append(b.decl_dim3(grid_var, grid_expr))
+            stmts.append(b.decl_dim3(block_var, launch.block))
+        else:
+            stmts.append(b.decl_dim3(grid_var, launch.grid))
+            stmts.append(b.decl_dim3(block_var, launch.block))
+            total = b.mul(b.member(grid_var, "x"), b.member(block_var, "x"))
+            if analyze_kernel_dims(child) - {"x"}:
+                for dim in ("y", "z"):
+                    total = b.mul(b.mul(total, b.member(grid_var, dim)),
+                                  b.member(block_var, dim))
+            stmts.append(b.decl_int(threads_var, total))
+
+        launch_args = [b.ident(n) for n in arg_names]
+        new_launch = ast.Launch(launch.kernel, b.ident(grid_var),
+                                b.ident(block_var), launch_args)
+        serial_call = b.call(serial_name,
+                             *(launch_args + [b.ident(grid_var),
+                                              b.ident(block_var)]))
+        stmts.append(b.if_stmt(
+            b.ge(b.ident(threads_var), b.ident(THRESHOLD_MACRO)),
+            b.block(b.expr_stmt(new_launch)),
+            b.block(b.expr_stmt(serial_call))))
+        meta.thresholded_sites += 1
+        return b.block(*stmts)

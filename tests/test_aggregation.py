@@ -1,0 +1,188 @@
+"""Aggregation transformation tests (Fig. 7 structure, all granularities)."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.minicuda import ast, parse, print_source
+from repro.minicuda.ast import region_of
+from repro.minicuda.visitor import find_all
+from repro.transforms import AggregationPass
+
+
+def run_pass(source, granularity="multiblock", group_blocks=8,
+             agg_threshold=None):
+    program = parse(source)
+    meta = AggregationPass(granularity, group_blocks, agg_threshold)\
+        .run(program)
+    return program, meta
+
+
+class TestAggKernel:
+    def test_agg_kernel_created(self, bfs_like_source):
+        program, meta = run_pass(bfs_like_source)
+        spec = meta.agg_specs[0]
+        assert spec.agg_kernel == "child_agg"
+        agg = program.function("child_agg")
+        assert agg.is_kernel
+
+    def test_agg_kernel_signature(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        agg = program.function("child_agg")
+        # one array per original param + scan + bdim arrays + count
+        child = program.function("child")
+        assert len(agg.params) == len(child.params) + 3
+        assert agg.params[-1].name == "_nParents"
+        # arg arrays are pointers to the original param types
+        assert agg.params[0].type.pointers == \
+            child.params[0].type.pointers + 1
+
+    def test_binary_search_present(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        agg = program.function("child_agg")
+        whiles = find_all(agg, ast.While)
+        assert len(whiles) == 1
+
+    def test_disagg_statements_region_tagged(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        agg = program.function("child_agg")
+        regions = [region_of(s) for s in agg.body.stmts]
+        assert "disagg" in regions
+
+    def test_body_guarded_by_bdim(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        text = print_source(program)
+        assert "if (threadIdx.x < _bDimX)" in text
+
+
+class TestParentRewrite:
+    def test_buffer_params_appended(self, bfs_like_source):
+        program, meta = run_pass(bfs_like_source)
+        parent = program.function("parent")
+        spec = meta.agg_specs[0]
+        appended = [p.name for p in parent.params][-len(spec.buffer_params):]
+        assert appended == spec.buffer_params
+
+    def test_store_code_replaces_launch(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        parent = program.function("parent")
+        launches = find_all(parent, ast.Launch)
+        # only the aggregated launch in the epilogue remains
+        assert len(launches) == 1
+        assert launches[0].kernel == "child_agg"
+
+    def test_epilogue_has_fence_sync_and_counter(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        text = print_source(program)
+        assert "__threadfence()" in text
+        assert "__syncthreads()" in text
+        assert "_nfinished" in text
+
+    def test_body_wrapped_in_dowhile(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        parent = program.function("parent")
+        assert find_all(parent, ast.DoWhile)
+
+    def test_agg_statements_region_tagged(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        parent = program.function("parent")
+        tagged = [s for s in parent.body.walk()
+                  if isinstance(s, ast.Stmt) and region_of(s) == "agg"]
+        assert tagged
+
+    def test_parent_return_becomes_break(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { p[t] = t; }
+        }
+        __global__ void parent(int *p, int *sizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t >= n) { return; }
+            c<<<(sizes[t] + 31) / 32, 32>>>(p, sizes[t]);
+        }
+        """
+        program, _ = run_pass(source)
+        parent = program.function("parent")
+        assert not find_all(parent, ast.Return)
+        assert find_all(parent, ast.Break)
+
+    def test_parent_return_in_loop_rejected(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { p[t] = t; }
+        }
+        __global__ void parent(int *p, int *sizes, int n) {
+            for (int i = 0; i < n; ++i) {
+                if (sizes[i] < 0) { return; }
+                c<<<(sizes[i] + 31) / 32, 32>>>(p, sizes[i]);
+            }
+        }
+        """
+        with pytest.raises(TransformError):
+            run_pass(source)
+
+
+class TestGranularities:
+    def test_block_granularity_group_of_one(self, bfs_like_source):
+        _, meta = run_pass(bfs_like_source, "block")
+        assert meta.agg_specs[0].group_blocks == 1
+
+    def test_multiblock_macro(self, bfs_like_source):
+        _, meta = run_pass(bfs_like_source, "multiblock", group_blocks=16)
+        assert meta.macros["_AGG_GRANULARITY"] == 16
+
+    def test_warp_granularity_no_syncthreads(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source, "warp")
+        text = print_source(program)
+        assert "__syncthreads" not in text
+
+    def test_grid_granularity_host_launch(self, bfs_like_source):
+        program, meta = run_pass(bfs_like_source, "grid")
+        spec = meta.agg_specs[0]
+        assert spec.host_launch
+        # No device-side aggregated launch remains.
+        parent = program.function("parent")
+        assert not find_all(parent, ast.Launch)
+        # No completion counter buffer for grid granularity.
+        assert not any("_nfinished" in p for p in spec.buffer_params)
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(TransformError):
+            AggregationPass("banana")
+
+
+class TestAggThreshold:
+    def test_part_buffer_added(self, bfs_like_source):
+        _, meta = run_pass(bfs_like_source, "block", agg_threshold=16)
+        spec = meta.agg_specs[0]
+        assert spec.agg_threshold
+        assert any("_part" in p for p in spec.buffer_params)
+
+    def test_direct_launch_fallback_present(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source, "block", agg_threshold=16)
+        parent = program.function("parent")
+        launches = find_all(parent, ast.Launch)
+        kernels = {l.kernel for l in launches}
+        assert kernels == {"child", "child_agg"}
+
+    def test_macro_recorded(self, bfs_like_source):
+        _, meta = run_pass(bfs_like_source, "block", agg_threshold=16)
+        assert meta.macros["_AGG_THRESHOLD"] == 16
+
+    def test_grid_with_threshold_rejected(self):
+        with pytest.raises(TransformError):
+            AggregationPass("grid", agg_threshold=4)
+
+    def test_multiblock_with_threshold_rejected(self):
+        with pytest.raises(TransformError):
+            AggregationPass("multiblock", agg_threshold=4)
+
+
+class TestOutputValidity:
+    @pytest.mark.parametrize("granularity", ["warp", "block", "multiblock",
+                                             "grid"])
+    def test_output_reparses(self, bfs_like_source, granularity):
+        program, _ = run_pass(bfs_like_source, granularity)
+        text = print_source(program)
+        assert print_source(parse(text)) == text

@@ -1,0 +1,174 @@
+"""Analysis-pass unit tests: symbols, kernel properties, launch sites."""
+
+import pytest
+
+from repro.analysis import (NameAllocator, SymbolTable, analyze_kernel,
+                            analyze_program, child_kernels, declared_names,
+                            find_launch_sites, is_recursive,
+                            parent_child_pairs, resolve_child, used_names)
+from repro.errors import AnalysisError
+from repro.minicuda import parse
+
+
+class TestNameAllocator:
+    def test_fresh_returns_stem_when_free(self):
+        alloc = NameAllocator({"x"})
+        assert alloc.fresh("_threads") == "_threads"
+
+    def test_fresh_suffixes_on_collision(self):
+        alloc = NameAllocator({"_threads"})
+        assert alloc.fresh("_threads") == "_threads_2"
+        assert alloc.fresh("_threads") == "_threads_3"
+
+    def test_for_program_sees_all_names(self, bfs_like_source):
+        alloc = NameAllocator.for_program(parse(bfs_like_source))
+        assert alloc.fresh("tid") != "tid"
+        assert alloc.fresh("child") != "child"
+
+    def test_reserve(self):
+        alloc = NameAllocator()
+        alloc.reserve("mine")
+        assert alloc.fresh("mine") == "mine_2"
+
+
+class TestSymbols:
+    def test_declared_names(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        names = declared_names(program.function("parent"))
+        assert {"row", "edges", "dist", "n", "level", "tid", "start",
+                "degree"} <= names
+
+    def test_used_names_include_launch_target(self, bfs_like_source):
+        assert "child" in used_names(parse(bfs_like_source))
+
+    def test_kind_classification(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        table = SymbolTable(program, program.function("parent"))
+        assert table.kind_of("row") == "param"
+        assert table.kind_of("tid") == "local"
+        assert table.kind_of("blockIdx") == "reserved"
+        assert table.kind_of("child") == "function"
+        assert table.kind_of("atomicAdd") == "intrinsic"
+        assert table.kind_of("mystery") == "unknown"
+
+    def test_global_kind(self):
+        program = parse(
+            "__device__ int counter;\n"
+            "__global__ void k(int x) { counter = x; }")
+        table = SymbolTable(program, program.function("k"))
+        assert table.kind_of("counter") == "global"
+
+    def test_type_of(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        table = SymbolTable(program, program.function("parent"))
+        assert table.type_of("row").pointers == 1
+        assert table.type_of("tid").name == "int"
+        assert table.type_of("nothere") is None
+
+
+class TestKernelProperties:
+    def test_plain_child_is_thresholdable(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        props = analyze_kernel(program, "child")
+        assert props.thresholdable
+        assert not props.is_multidimensional
+
+    def test_barrier_child_rejected(self, barrier_child_source):
+        program = parse(barrier_child_source)
+        props = analyze_kernel(program, "reduce_child")
+        assert props.uses_barrier
+        assert props.uses_shared_memory
+        assert not props.thresholdable
+
+    def test_warp_primitive_detected(self):
+        program = parse(
+            "__global__ void k(int *p) { int v = __shfl_down_sync(0, p[0], 1); }")
+        assert analyze_kernel(program, "k").uses_warp_primitives
+
+    def test_transitive_barrier_through_device_function(self):
+        program = parse("""
+            __device__ void helper(int x) { __syncthreads(); }
+            __global__ void k(int *p) { helper(p[0]); }
+        """)
+        assert analyze_kernel(program, "k").uses_barrier
+
+    def test_dims_used(self):
+        program = parse(
+            "__global__ void k(int *p) { p[blockIdx.y] = threadIdx.x; }")
+        props = analyze_kernel(program, "k")
+        assert props.dims_used == frozenset({"x", "y"})
+        assert props.is_multidimensional
+
+    def test_launches_found(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        assert len(analyze_kernel(program, "parent").launches) == 1
+
+    def test_analyze_program_covers_all_kernels(self, bfs_like_source):
+        props = analyze_program(parse(bfs_like_source))
+        assert set(props) == {"child", "parent"}
+
+    def test_recursive_call_does_not_loop(self):
+        program = parse("""
+            __device__ int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+            __device__ int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+            __global__ void k(int *p) { p[0] = even(p[1]); }
+        """)
+        assert analyze_kernel(program, "k").thresholdable
+
+
+class TestLaunchSites:
+    def test_dynamic_sites_found(self, bfs_like_source):
+        sites = find_launch_sites(parse(bfs_like_source))
+        assert len(sites) == 1
+        assert sites[0].parent.name == "parent"
+        assert sites[0].child_name == "child"
+
+    def test_host_function_launches_excluded_by_default(self):
+        program = parse("""
+            __global__ void k(int *p) { p[0] = 1; }
+            void host_main(int *p) { k<<<1, 32>>>(p); }
+        """)
+        assert find_launch_sites(program) == []
+        assert len(find_launch_sites(program, include_host=True)) == 1
+
+    def test_child_kernels(self, bfs_like_source):
+        assert child_kernels(parse(bfs_like_source)) == {"child"}
+
+    def test_resolve_child_errors(self):
+        program = parse(
+            "__global__ void p(int *x) { ghost<<<1, 1>>>(x); }")
+        with pytest.raises(AnalysisError):
+            resolve_child(program, find_launch_sites(program)[0])
+
+    def test_launch_of_device_function_rejected(self):
+        program = parse("""
+            __device__ void f(int *x) { x[0] = 1; }
+            __global__ void p(int *x) { f<<<1, 1>>>(x); }
+        """)
+        with pytest.raises(AnalysisError):
+            parent_child_pairs(program)
+
+    def test_recursion_detected(self):
+        program = parse("""
+            __global__ void rec(int *p, int d) {
+                if (d > 0) {
+                    rec<<<1, 32>>>(p, d - 1);
+                }
+            }
+        """)
+        assert is_recursive(program, "rec")
+
+    def test_mutual_recursion_detected(self):
+        program = parse("""
+            __global__ void a(int *p, int d);
+            __global__ void b(int *p, int d) {
+                if (d > 0) { a<<<1, 1>>>(p, d - 1); }
+            }
+            __global__ void a(int *p, int d) {
+                if (d > 0) { b<<<1, 1>>>(p, d - 1); }
+            }
+        """)
+        assert is_recursive(program, "a")
+
+    def test_non_recursive(self, bfs_like_source):
+        assert not is_recursive(parse(bfs_like_source), "parent")

@@ -1,0 +1,94 @@
+"""Autotuner tests (the Sec. VIII-C practical-tuning recipe)."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.harness import (TuningParams, hill_climb, predict_threshold,
+                           quick_tune, tune)
+from repro.harness.autotune import _count_below, _neighbors
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def bfs_setup():
+    bench = get_benchmark("BFS")
+    data = bench.build_dataset("KRON", SCALE)
+    return bench, data
+
+
+class TestPredictThreshold:
+    def test_power_of_two(self, bfs_setup):
+        bench, data = bfs_setup
+        threshold = predict_threshold(bench, data)
+        assert threshold & (threshold - 1) == 0
+
+    def test_smaller_fraction_larger_threshold(self, bfs_setup):
+        bench, data = bfs_setup
+        loose = predict_threshold(bench, data, keep_fraction=0.9)
+        tight = predict_threshold(bench, data, keep_fraction=0.05)
+        assert tight >= loose
+
+    def test_count_below(self):
+        sizes = [1, 2, 2, 5, 9]
+        assert _count_below(sizes, 1) == 0
+        assert _count_below(sizes, 2) == 1
+        assert _count_below(sizes, 3) == 3
+        assert _count_below(sizes, 100) == 5
+
+
+class TestQuickTune:
+    def test_under_ten_runs(self, bfs_setup):
+        bench, data = bfs_setup
+        result = quick_tune(bench, data, "CDP+T+C+A")
+        assert result.runs < 10
+
+    def test_close_to_exhaustive_guided(self, bfs_setup):
+        """The paper: sub-optimal parameters still yield a speedup close to
+        the tuned optimum."""
+        bench, data = bfs_setup
+        quick = quick_tune(bench, data, "CDP+T+C+A")
+        full = tune(bench, data, "CDP+T+C+A", strategy="guided")
+        assert quick.best_time <= full.best_time * 1.6
+
+    def test_respects_variant_letters(self, bfs_setup):
+        bench, data = bfs_setup
+        result = quick_tune(bench, data, "CDP+T")
+        assert result.best.threshold is not None
+        assert result.best.coarsen_factor is None
+        assert result.best.granularity is None
+
+
+class TestHillClimb:
+    def test_never_worse_than_start(self, bfs_setup):
+        bench, data = bfs_setup
+        start = TuningParams(threshold=1, coarsen_factor=8,
+                             granularity="block")
+        from repro.harness import run_variant
+        start_time = run_variant(bench, data, "CDP+T+C+A", start).total_time
+        result = hill_climb(bench, data, "CDP+T+C+A", start=start,
+                            budget=12)
+        assert result.best_time <= start_time
+
+    def test_budget_respected(self, bfs_setup):
+        bench, data = bfs_setup
+        result = hill_climb(bench, data, "CDP+T+C+A", budget=6)
+        assert result.runs <= 6
+
+    def test_neighbors_shapes(self):
+        params = TuningParams(threshold=32, coarsen_factor=8,
+                              granularity="multiblock", group_blocks=8)
+        neighbors = _neighbors(params, "CDP+T+C+A")
+        thresholds = {n.threshold for n in neighbors}
+        assert {64, 16} <= thresholds
+        grans = {n.granularity for n in neighbors}
+        assert "warp" not in grans
+        groups = {n.group_blocks for n in neighbors
+                  if n.granularity == "multiblock"}
+        assert {16, 4} <= groups
+
+    def test_neighbors_respect_label(self):
+        params = TuningParams(threshold=32)
+        neighbors = _neighbors(params, "CDP+T")
+        assert all(n.coarsen_factor is None for n in neighbors)
+        assert all(n.granularity is None for n in neighbors)

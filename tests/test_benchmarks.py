@@ -1,0 +1,135 @@
+"""Benchmark correctness: every variant of every benchmark computes the
+same answer — the central soundness requirement for the transformations."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import all_benchmarks, get_benchmark
+from repro.harness import outputs_match
+from repro.transforms import OptConfig
+
+SMALL = 0.12
+
+
+@pytest.fixture(scope="module")
+def references():
+    """No-CDP outputs per benchmark at the test scale."""
+    refs = {}
+    for bench in all_benchmarks():
+        data = bench.build_dataset(bench.dataset_names[0], SMALL)
+        outputs, _, _ = bench.run(data, "nocdp")
+        refs[bench.name] = (data, outputs)
+    return refs
+
+
+@pytest.mark.parametrize("name",
+                         ["BFS", "BT", "MSTF", "MSTV", "SP", "SSSP", "TC"])
+class TestVariantEquivalence:
+    def test_cdp_matches_nocdp(self, references, name):
+        bench = get_benchmark(name)
+        data, ref = references[name]
+        outputs, _, _ = bench.run(data, "cdp")
+        assert outputs_match(ref, outputs)
+
+    def test_thresholding_matches(self, references, name):
+        bench = get_benchmark(name)
+        data, ref = references[name]
+        outputs, _, _ = bench.run(data, "cdp", OptConfig(threshold=16))
+        assert outputs_match(ref, outputs)
+
+    def test_full_pipeline_matches(self, references, name):
+        bench = get_benchmark(name)
+        data, ref = references[name]
+        config = OptConfig(threshold=16, coarsen_factor=4,
+                           aggregate="multiblock", group_blocks=4)
+        outputs, _, _ = bench.run(data, "cdp", config)
+        assert outputs_match(ref, outputs)
+
+    def test_grid_aggregation_matches(self, references, name):
+        bench = get_benchmark(name)
+        data, ref = references[name]
+        outputs, _, _ = bench.run(data, "cdp", OptConfig(aggregate="grid"))
+        assert outputs_match(ref, outputs)
+
+
+class TestBenchmarkShapes:
+    def test_registry_names(self):
+        names = [b.name for b in all_benchmarks()]
+        assert names == ["BFS", "BT", "MSTF", "MSTV", "SP", "SSSP", "TC"]
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("QUICKSORT")
+
+    def test_case_insensitive_lookup(self):
+        assert get_benchmark("bfs").name == "BFS"
+
+    def test_bfs_reaches_most_vertices(self, references):
+        data, ref = references["BFS"]
+        reached = (ref["dist"] >= 0).sum()
+        assert reached > data.num_vertices // 2
+
+    def test_bfs_levels_are_valid(self, references):
+        """dist levels must differ by at most 1 across any edge."""
+        data, ref = references["BFS"]
+        dist = ref["dist"]
+        for u in range(data.num_vertices):
+            if dist[u] < 0:
+                continue
+            for v in data.col[data.row[u]:data.row[u + 1]]:
+                if dist[v] >= 0:
+                    assert abs(int(dist[u]) - int(dist[v])) <= 1
+
+    def test_sssp_triangle_inequality_on_edges(self, references):
+        data, ref = references["SSSP"]
+        dist = ref["dist"]
+        inf = 1 << 30
+        for u in range(data.num_vertices):
+            if dist[u] >= inf:
+                continue
+            for i in range(data.row[u], data.row[u + 1]):
+                v = data.col[i]
+                assert dist[v] <= dist[u] + data.weights[i]
+
+    def test_tc_counts_triangles_exactly(self, references):
+        data, ref = references["TC"]
+        # brute-force reference count
+        adj = [set(data.col[data.row[u]:data.row[u + 1]].tolist())
+               for u in range(data.num_vertices)]
+        expected = 0
+        for u in range(data.num_vertices):
+            for v in adj[u]:
+                if v <= u:
+                    continue
+                expected += sum(1 for w in adj[u] & adj[v] if w > v)
+        assert int(ref["triangles"][0]) == expected
+
+    def test_bt_tessellation_counts_match_host_reference(self, references):
+        data, ref = references["BT"]
+        assert np.array_equal(ref["tess"], data.tess_counts())
+
+    def test_bt_endpoints_interpolated(self, references):
+        data, ref = references["BT"]
+        px = data.control_x.reshape(-1, 3)
+        offsets, tess = ref["offsets"], ref["tess"]
+        for line in range(min(10, data.num_lines)):
+            start = offsets[line]
+            end = start + tess[line] - 1
+            assert ref["outx"][start] == pytest.approx(px[line, 0])
+            assert ref["outx"][end] == pytest.approx(px[line, 2])
+
+    def test_mstf_best_edges_cross_components(self, references):
+        from repro.benchmarks.mstf import _ENC, skewed_components
+        data, ref = references["MSTF"]
+        comp = skewed_components(data.num_vertices)
+        best = ref["best"]
+        inf = 1 << 30
+        for c, enc in enumerate(best):
+            if enc >= inf:
+                continue
+            edge = int(enc) % _ENC
+            weight = int(enc) // _ENC
+            assert data.weights[edge] == weight
+            src = int(np.searchsorted(data.row, edge, side="right") - 1)
+            assert comp[src] == c
+            assert comp[data.col[edge]] != c

@@ -1,0 +1,91 @@
+"""Fig. 4 desired-thread-count analysis tests — one per paper pattern."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import expr_equal, find_thread_count
+from repro.minicuda import parse_expr, print_expr
+
+
+def count_of(grid_text):
+    result = find_thread_count(parse_expr(grid_text))
+    if result.count_expr is None:
+        return None
+    return print_expr(result.count_expr)
+
+
+class TestPaperPatterns:
+    def test_pattern_a(self):
+        # (N - 1)/b + 1
+        assert count_of("(N - 1) / b + 1") == "N"
+
+    def test_pattern_b(self):
+        # (N + b - 1)/b
+        assert count_of("(N + b - 1) / b") == "N"
+
+    def test_pattern_b_with_literal_block(self):
+        assert count_of("(degree + 255) / 256") == "degree"
+
+    def test_pattern_c(self):
+        # N/b + (N%b == 0)?0:1 — the division is found first in pre-order.
+        assert count_of("N / b + ((N % b == 0) ? 0 : 1)") == "N"
+
+    def test_pattern_d(self):
+        # ceil((float)N/b)
+        assert count_of("ceil((float)N / b)") == "N"
+
+    def test_pattern_e(self):
+        # ceil(N/(float)b)
+        assert count_of("ceil(N / (float)b)") == "N"
+
+    def test_pattern_f_dim3(self):
+        # dim3(...) — the x-dimension argument is analyzed.
+        assert count_of("dim3((N + b - 1) / b, 1, 1)") == "N"
+
+    def test_exactness_flag(self):
+        assert find_thread_count(parse_expr("(N + 255) / 256")).exact
+        assert not find_thread_count(parse_expr("numBlocks")).exact
+
+
+class TestRobustness:
+    def test_compound_count_expression(self):
+        assert count_of("(end - start + 127) / 128") == "end - start"
+
+    def test_call_as_count(self):
+        assert count_of("(min(a, b) + 31) / 32") == "min(a, b)"
+
+    def test_no_division_returns_none(self):
+        assert count_of("numBlocks") is None
+
+    def test_two_nonconstant_terms_kept_whole(self):
+        # The heuristic keeps the whole non-constant residue as N.
+        assert count_of("(n + m) / 32") == "n + m"
+
+    def test_constant_residue_rejected(self):
+        assert count_of("256 / b") is None
+        assert count_of("(b + 1) / b") is None
+
+    def test_divisor_variable_stripped(self):
+        # The b on the left matches the divisor and is stripped (pattern b).
+        assert count_of("(x + bsz - 1) / bsz") == "x"
+
+    def test_count_node_is_identity_into_grid(self):
+        grid = parse_expr("(deg + 255) / 256")
+        result = find_thread_count(grid)
+        found = any(node is result.count_expr for node in grid.walk())
+        assert found, "count expression must be a node inside the grid expr"
+
+
+class TestExprEqual:
+    def test_different_shapes_unequal(self):
+        assert not expr_equal(parse_expr("a + b"), parse_expr("a - b"))
+        assert not expr_equal(parse_expr("a"), parse_expr("a[0]"))
+
+    def test_literal_text_ignored(self):
+        assert expr_equal(parse_expr("0x10"), parse_expr("16"))
+
+    @given(st.sampled_from(["a + b", "n / 32", "p[i]", "f(x, y)",
+                            "a ? b : c", "(float)n", "-x"]))
+    @settings(deadline=None)
+    def test_parse_twice_equal(self, text):
+        assert expr_equal(parse_expr(text), parse_expr(text))

@@ -1,0 +1,125 @@
+"""Coarsening transformation tests (Fig. 6 structure)."""
+
+from repro.minicuda import ast, parse, print_source
+from repro.minicuda.visitor import find_all
+from repro.transforms import CoarseningPass
+from repro.transforms.coarsening import CFACTOR_MACRO
+
+
+def run_pass(source, factor=16):
+    program = parse(source)
+    meta = CoarseningPass(factor).run(program)
+    return program, meta
+
+
+class TestKernelRewrite:
+    def test_gdim_param_appended(self, bfs_like_source):
+        program, meta = run_pass(bfs_like_source)
+        child = program.function("child")
+        assert child.params[-1].name == "_gDim"
+        assert child.params[-1].type.name == "dim3"
+        assert meta.coarsened_kernels["child"]["gdim_param"] == "_gDim"
+
+    def test_block_stride_loop_inserted(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        child = program.function("child")
+        loops = find_all(child, ast.For)
+        assert len(loops) == 1
+        loop = loops[0]
+        # init: int _bx = blockIdx.x; cond: _bx < _gDim.x; step: += gridDim.x
+        text = print_source(program)
+        assert "for (int _bx = blockIdx.x; _bx < _gDim.x; "\
+               "_bx += gridDim.x)" in text
+
+    def test_body_blockidx_replaced(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        child = program.function("child")
+        loop = find_all(child, ast.For)[0]
+        for member in find_all(loop.body, ast.Member):
+            if isinstance(member.obj, ast.Ident):
+                assert not (member.obj.name == "blockIdx"
+                            and member.attr == "x")
+
+    def test_launch_site_ceiling_divides(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        text = print_source(program)
+        assert "_cgDim.x = (_ogDim.x + %s - 1) / %s" % (
+            CFACTOR_MACRO, CFACTOR_MACRO) in text
+        assert "child<<<_cgDim, 256>>>" in text
+
+    def test_original_gdim_passed_as_arg(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        launch = find_all(program.function("parent"), ast.Launch)[0]
+        last = launch.args[-1]
+        assert isinstance(last, ast.Ident) and last.name == "_ogDim"
+
+    def test_macro_recorded(self, bfs_like_source):
+        _, meta = run_pass(bfs_like_source, factor=4)
+        assert meta.macros[CFACTOR_MACRO] == 4
+
+    def test_output_reparses(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        text = print_source(program)
+        assert print_source(parse(text)) == text
+
+
+class TestLegality:
+    def test_barrier_child_is_coarsenable(self, barrier_child_source):
+        # Unlike thresholding, barriers are fine under coarsening.
+        program, meta = run_pass(barrier_child_source)
+        assert "reduce_child" in meta.coarsened_kernels
+
+    def test_multidimensional_child_coarsened_along_x(self):
+        # y/z indices survive untouched; only x is block-strided.
+        source = """
+        __global__ void c(int *p) { p[blockIdx.y] = threadIdx.x; }
+        __global__ void parent(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<(n + 31) / 32, 32>>>(p); }
+        }
+        """
+        program, meta = run_pass(source)
+        assert "c" in meta.coarsened_kernels
+        text = print_source(program)
+        assert "blockIdx.y" in text          # y index untouched
+        assert "_bx < _gDim.x" in text       # x block-strided
+
+    def test_guard_return_becomes_continue(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t >= n) { return; }
+            p[t] = t;
+        }
+        __global__ void parent(int *p, int *sizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<(sizes[t] + 31) / 32, 32>>>(p, sizes[t]); }
+        }
+        """
+        program, meta = run_pass(source)
+        child = program.function("c")
+        assert find_all(child, ast.Continue)
+        assert not find_all(child, ast.Return)
+
+    def test_child_coarsened_once_for_two_sites(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { p[t] = t; }
+        }
+        __global__ void parent(int *p, int *a, int *b, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) {
+                c<<<(a[t] + 31) / 32, 32>>>(p, a[t]);
+                c<<<(b[t] + 31) / 32, 32>>>(p, b[t]);
+            }
+        }
+        """
+        program, _ = run_pass(source)
+        child = program.function("c")
+        # exactly one extra param even with two launch sites
+        assert [p.name for p in child.params].count("_gDim") == 1
+        launches = find_all(program.function("parent"), ast.Launch)
+        assert len(launches) == 2
+        for launch in launches:
+            assert isinstance(launch.args[-1], ast.Ident)

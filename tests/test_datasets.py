@@ -1,0 +1,139 @@
+"""Dataset generator tests: CSR invariants and distribution shapes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (bezier_lines, from_edges, kron_graph, random_ksat,
+                            road_graph, uniform_random_graph, web_graph)
+
+
+def check_csr(graph):
+    assert graph.row[0] == 0
+    assert graph.row[-1] == graph.num_edges
+    assert np.all(np.diff(graph.row) >= 0)
+    if graph.num_edges:
+        assert graph.col.min() >= 0
+        assert graph.col.max() < graph.num_vertices
+    assert len(graph.weights) == graph.num_edges
+
+
+class TestCSRConstruction:
+    def test_from_edges_dedup_and_symmetry(self):
+        g = from_edges(4, [0, 0, 1], [1, 1, 2])
+        check_csr(g)
+        # duplicate (0,1) removed; symmetric edges present
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_self_loops_removed(self):
+        g = from_edges(3, [0, 1], [0, 2])
+        assert g.num_edges == 2  # only 1-2 and 2-1 remain
+
+    def test_columns_sorted_within_rows(self):
+        g = kron_graph(scale=6, edge_factor=4)
+        for u in range(g.num_vertices):
+            row = g.col[g.row[u]:g.row[u + 1]]
+            assert np.all(np.diff(row) > 0)
+
+    @given(st.integers(2, 40), st.integers(0, 120), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_from_edges_invariants_random(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        g = from_edges(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        check_csr(g)
+        # symmetry: (u,v) present implies (v,u) present
+        pairs = set()
+        for u in range(n):
+            for v in g.col[g.row[u]:g.row[u + 1]]:
+                pairs.add((u, int(v)))
+        assert all((v, u) in pairs for (u, v) in pairs)
+
+
+class TestGenerators:
+    def test_kron_is_heavy_tailed(self):
+        g = kron_graph(scale=10, edge_factor=8)
+        check_csr(g)
+        degrees = g.degrees()
+        assert degrees.max() > 10 * max(1, np.median(degrees))
+
+    def test_web_graph_power_law_ish(self):
+        g = web_graph(n=1500)
+        check_csr(g)
+        degrees = np.sort(g.degrees())[::-1]
+        assert degrees[0] > 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_road_graph_small_degrees(self):
+        g = road_graph(width=30, height=30)
+        check_csr(g)
+        degrees = g.degrees()
+        assert degrees.max() <= 8
+        assert 2.0 <= degrees.mean() <= 5.0
+
+    def test_uniform_graph(self):
+        check_csr(uniform_random_graph(n=300, avg_degree=6))
+
+    def test_deterministic_by_seed(self):
+        a = kron_graph(scale=7, seed=5)
+        b = kron_graph(scale=7, seed=5)
+        assert np.array_equal(a.row, b.row)
+        assert np.array_equal(a.col, b.col)
+        c = kron_graph(scale=7, seed=6)
+        assert not (np.array_equal(a.row, c.row)
+                    and np.array_equal(a.col, c.col))
+
+
+class TestSAT:
+    def test_shape(self):
+        inst = random_ksat(num_vars=100, num_clauses=420, k=3)
+        assert inst.num_clauses == 420
+        assert inst.num_literals == 1260
+        assert len(inst.var_row) == 101
+
+    def test_clause_vars_distinct(self):
+        inst = random_ksat(num_vars=50, num_clauses=100, k=4, seed=2)
+        lits = inst.clause_lits.reshape(-1, 4)
+        for clause in lits:
+            assert len(set(clause.tolist())) == 4
+
+    def test_occurrence_lists_invert_clauses(self):
+        inst = random_ksat(num_vars=30, num_clauses=60, k=3, seed=1)
+        for var in range(inst.num_vars):
+            occ = inst.var_occ[inst.var_row[var]:inst.var_row[var + 1]]
+            slots = inst.var_occ_slot[
+                inst.var_row[var]:inst.var_row[var + 1]]
+            for clause, slot in zip(occ, slots):
+                assert inst.clause_lits[clause * inst.k + slot] == var
+
+    def test_total_occurrences(self):
+        inst = random_ksat(num_vars=40, num_clauses=80, k=5)
+        assert inst.var_row[-1] == inst.num_literals
+
+
+class TestBezier:
+    def test_shapes(self):
+        data = bezier_lines(num_lines=50, max_tess=32)
+        assert data.num_lines == 50
+        assert len(data.control_x) == 150
+
+    def test_tess_counts_bounded(self):
+        data = bezier_lines(num_lines=200, max_tess=32, curvature_scale=16)
+        counts = data.tess_counts()
+        assert counts.min() >= 2
+        assert counts.max() <= 32
+
+    def test_higher_cap_means_more_variation(self):
+        small = bezier_lines(num_lines=300, max_tess=32,
+                             curvature_scale=16, seed=4)
+        large = bezier_lines(num_lines=300, max_tess=256,
+                             curvature_scale=64, seed=4)
+        assert large.tess_counts().max() > small.tess_counts().max()
+
+    def test_curvature_matches_controls(self):
+        data = bezier_lines(num_lines=10, seed=0)
+        px = data.control_x.reshape(-1, 3)
+        py = data.control_y.reshape(-1, 3)
+        dx = px[0, 1] - 0.5 * (px[0, 0] + px[0, 2])
+        dy = py[0, 1] - 0.5 * (py[0, 0] + py[0, 2])
+        assert np.isclose(data.curvatures()[0], np.hypot(dx, dy))

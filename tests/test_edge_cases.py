@@ -1,0 +1,208 @@
+"""Edge-case integration tests: odd block sizes under warp aggregation,
+multiple launch sites per parent, device-side cudaMalloc, printf, and the
+SP-style ceil() launch pattern end to end."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Dim3, Module, alloc_for_type, run_grid
+from repro.harness import outputs_match
+from repro.minicuda.ast import Type
+from repro.runtime import Device, blocks
+from repro.sim import Trace
+from repro.transforms import OptConfig, transform
+
+SCATTER_SRC = """
+__global__ void child(int *out, int base, int count) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < count) {
+        atomicAdd(&out[0], base + tid);
+    }
+}
+
+__global__ void parent(int *sizes, int *out, int n) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < n) {
+        int c = sizes[t];
+        if (c > 0) {
+            child<<<(c + 31) / 32, 32>>>(out, t, c);
+        }
+    }
+}
+"""
+
+
+def run_scatter(config, n=100, parent_block=48, seed=4):
+    """parent_block=48 is deliberately not a multiple of 32: warp
+    granularity must still group and count correctly."""
+    if config is None:
+        module = Module(SCATTER_SRC)
+    else:
+        result = transform(SCATTER_SRC, config)
+        module = Module(result.program, result.meta)
+    dev = Device(module)
+    rng = np.random.default_rng(seed)
+    sizes = dev.upload(rng.integers(0, 40, n))
+    out = dev.alloc("int", 1)
+    dev.launch("parent", blocks(n, parent_block), parent_block,
+               sizes, out, n)
+    dev.sync()
+    dev.finish()
+    return {"out": out.to_numpy()}
+
+
+class TestWarpAggregationOddBlocks:
+    @pytest.mark.parametrize("parent_block", [16, 33, 48, 65, 96])
+    def test_partial_warps_complete(self, parent_block):
+        reference = run_scatter(None, parent_block=parent_block)
+        outputs = run_scatter(OptConfig(aggregate="warp"),
+                              parent_block=parent_block)
+        assert outputs_match(reference, outputs)
+
+    @pytest.mark.parametrize("parent_block", [48, 96])
+    def test_warp_agg_threshold(self, parent_block):
+        reference = run_scatter(None, parent_block=parent_block)
+        outputs = run_scatter(
+            OptConfig(aggregate="warp", agg_threshold=4),
+            parent_block=parent_block)
+        assert outputs_match(reference, outputs)
+
+
+TWO_SITES_SRC = """
+__global__ void inc(int *out, int count) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < count) {
+        atomicAdd(&out[0], 1);
+    }
+}
+
+__global__ void dbl(int *out, int count) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < count) {
+        atomicAdd(&out[1], 2);
+    }
+}
+
+__global__ void parent(int *a, int *b, int *out, int n) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < n) {
+        if (a[t] > 0) {
+            inc<<<(a[t] + 31) / 32, 32>>>(out, a[t]);
+        }
+        if (b[t] > 0) {
+            dbl<<<(b[t] + 63) / 64, 64>>>(out, b[t]);
+        }
+    }
+}
+"""
+
+
+class TestMultipleLaunchSites:
+    def _run(self, config):
+        if config is None:
+            module = Module(TWO_SITES_SRC)
+        else:
+            result = transform(TWO_SITES_SRC, config)
+            module = Module(result.program, result.meta)
+        dev = Device(module)
+        rng = np.random.default_rng(7)
+        n = 80
+        a = dev.upload(rng.integers(0, 30, n))
+        b = dev.upload(rng.integers(0, 60, n))
+        out = dev.alloc("int", 2)
+        dev.launch("parent", blocks(n, 64), 64, a, b, out, n)
+        dev.sync()
+        return {"out": out.to_numpy()}
+
+    def test_two_sites_aggregated_independently(self):
+        reference = self._run(None)
+        for granularity in ("block", "multiblock", "grid"):
+            outputs = self._run(OptConfig(aggregate=granularity))
+            assert outputs_match(reference, outputs), granularity
+
+    def test_two_sites_full_pipeline(self):
+        reference = self._run(None)
+        config = OptConfig(threshold=16, coarsen_factor=4,
+                           aggregate="multiblock", group_blocks=2)
+        assert outputs_match(reference, self._run(config))
+
+    def test_buffer_sets_distinct(self):
+        result = transform(TWO_SITES_SRC, OptConfig(aggregate="block"))
+        specs = result.meta.agg_specs
+        assert len(specs) == 2
+        assert specs[0].buffer_params != specs[1].buffer_params
+        assert {s.original_child for s in specs} == {"inc", "dbl"}
+
+
+class TestDeviceMalloc:
+    def test_cuda_malloc_allocates_usable_memory(self):
+        src = """
+        __global__ void k(int *out, int n) {
+            int *scratch;
+            cudaMalloc(&scratch, n * sizeof(int));
+            for (int i = 0; i < n; ++i) {
+                scratch[i] = i * i;
+            }
+            int s = 0;
+            for (int i = 0; i < n; ++i) {
+                s += scratch[i];
+            }
+            out[0] = s;
+        }
+        """
+        out = alloc_for_type(Type("int"), 1)
+        module = Module(src)
+        run_grid(module, Trace(), "k", Dim3(1), Dim3(1), (out, 10))
+        assert out[0] == sum(i * i for i in range(10))
+
+
+class TestPrintf:
+    def test_printf_collected_in_trace(self):
+        src = """
+        __global__ void k(int *p) {
+            printf("thread %d", threadIdx.x);
+            p[0] = 1;
+        }
+        """
+        module = Module(src)
+        trace = Trace()
+        run_grid(module, trace, "k", Dim3(1), Dim3(2),
+                 (alloc_for_type(Type("int"), 1),))
+        assert trace.printf_lines == ["thread 0", "thread 1"]
+
+
+class TestCeilPatternEndToEnd:
+    """SP launches with ceil((float)N/b) — pattern (d) of Fig. 4 — and the
+    thresholding transform must extract and guard on N."""
+
+    SRC = """
+    __global__ void child(int *out, int count) {
+        int tid = blockIdx.x * blockDim.x + threadIdx.x;
+        if (tid < count) {
+            atomicAdd(&out[0], 1);
+        }
+    }
+    __global__ void parent(int *sizes, int *out, int n) {
+        int t = blockIdx.x * blockDim.x + threadIdx.x;
+        if (t < n) {
+            int c = sizes[t];
+            if (c > 0) {
+                child<<<ceil((float)c / 32), 32>>>(out, c);
+            }
+        }
+    }
+    """
+
+    def test_exact_extraction_and_equivalence(self):
+        result = transform(self.SRC, OptConfig(threshold=16))
+        assert "int _threads = c;" in result.source
+
+        module_ref = Module(self.SRC)
+        module_opt = Module(result.program, result.meta)
+        for module in (module_ref, module_opt):
+            dev = Device(module)
+            sizes = dev.upload(np.array([5, 40, 0, 17, 64]))
+            out = dev.alloc("int", 1)
+            dev.launch("parent", 1, 32, sizes, out, 5)
+            dev.sync()
+            assert out[0] == 5 + 40 + 17 + 64

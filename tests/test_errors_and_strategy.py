@@ -1,0 +1,60 @@
+"""Error-hierarchy tests and the exhaustive tuning strategy."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.errors import (AnalysisError, CodegenError, LexError,
+                          NotTransformable, ParseError, ReproError,
+                          RuntimeLaunchError, SimulationError,
+                          TransformError)
+from repro.harness import tune
+from repro.harness.tuning import DEFAULT_CFACTORS
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (LexError, ParseError, AnalysisError, TransformError,
+                    NotTransformable, CodegenError, SimulationError,
+                    RuntimeLaunchError):
+            assert issubclass(exc, ReproError)
+
+    def test_not_transformable_is_transform_error(self):
+        assert issubclass(NotTransformable, TransformError)
+
+    def test_lex_error_position_formatting(self):
+        err = LexError("bad char", line=3, col=7)
+        assert "3:7" in str(err)
+
+    def test_parse_error_token_context(self):
+        from repro.minicuda.tokens import Token, PUNCT
+        err = ParseError("expected ';'", Token(PUNCT, "}", 2, 1))
+        assert "2:1" in str(err) and "'}'" in str(err)
+
+    def test_single_except_catches_everything(self):
+        from repro.minicuda import parse
+        with pytest.raises(ReproError):
+            parse("__global__ void k( {")
+
+
+class TestExhaustiveStrategy:
+    def test_exhaustive_covers_more_points_than_guided(self):
+        bench = get_benchmark("SP")
+        data = bench.build_dataset("RAND-3", 0.06)
+        guided = tune(bench, data, "CDP+T+C+A", strategy="guided")
+        exhaustive = tune(bench, data, "CDP+T+C+A", strategy="exhaustive")
+        assert len(exhaustive.evaluated) > len(guided.evaluated)
+        assert exhaustive.best_time <= guided.best_time
+
+    def test_exhaustive_sweeps_cfactors(self):
+        bench = get_benchmark("SP")
+        data = bench.build_dataset("RAND-3", 0.06)
+        outcome = tune(bench, data, "CDP+C", strategy="exhaustive")
+        factors = {p.coarsen_factor for p, _ in outcome.evaluated}
+        assert factors == set(DEFAULT_CFACTORS)
+
+    def test_exhaustive_includes_warp_granularity(self):
+        bench = get_benchmark("SP")
+        data = bench.build_dataset("RAND-3", 0.06)
+        outcome = tune(bench, data, "CDP+T+A", strategy="exhaustive")
+        grans = {p.granularity for p, _ in outcome.evaluated}
+        assert "warp" in grans and "multiblock" in grans

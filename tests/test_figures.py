@@ -1,0 +1,105 @@
+"""Integration tests: every figure function runs end to end at tiny scale
+and produces the paper's qualitative relationships."""
+
+import pytest
+
+from repro.harness import (figure9, figure10, figure11, figure12,
+                           fixed_threshold_study, table1)
+
+SCALE = 0.1
+TINY_PAIRS = (("BFS", "KRON"), ("SP", "RAND-3"))
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figure9(scale=SCALE, pairs=TINY_PAIRS)
+
+
+class TestTable1:
+    def test_covers_all_pairs(self):
+        result = table1(scale=SCALE)
+        assert len(result.rows) == 15  # 14 pairs + road graph
+        text = result.format()
+        assert "KRON" in text and "RAND-3" in text
+
+
+class TestFigure9:
+    def test_all_series_present(self, fig9):
+        for pair in TINY_PAIRS:
+            row = fig9.speedups[pair]
+            assert set(row) == {
+                "No CDP", "CDP", "KLAP (CDP+A)", "CDP+T", "CDP+C",
+                "CDP+T+C", "CDP+T+A", "CDP+C+A", "CDP+T+C+A"}
+
+    def test_cdp_is_unity(self, fig9):
+        for pair in TINY_PAIRS:
+            assert fig9.speedups[pair]["CDP"] == 1.0
+
+    def test_aggregation_beats_cdp(self, fig9):
+        for pair in TINY_PAIRS:
+            assert fig9.speedups[pair]["KLAP (CDP+A)"] > 1.5
+
+    def test_full_framework_at_least_klap(self, fig9):
+        gm = fig9.geomeans()
+        assert gm["CDP+T+C+A"] >= gm["KLAP (CDP+A)"] * 0.95
+
+    def test_tuned_combo_never_much_worse_than_subset(self, fig9):
+        # The tuner can always fall back to threshold=1 etc., so the full
+        # combination cannot lose badly to aggregation alone.
+        for pair in TINY_PAIRS:
+            row = fig9.speedups[pair]
+            assert row["CDP+T+C+A"] >= row["CDP+C+A"] * 0.9
+
+    def test_format_contains_geomean(self, fig9):
+        assert "Geomean" in fig9.format()
+
+    def test_best_params_recorded(self, fig9):
+        key = ("BFS", "KRON", "CDP+T+C+A")
+        assert key in fig9.best_params
+        assert fig9.best_params[key].threshold is not None
+
+
+class TestFigure10:
+    def test_breakdown_structure(self):
+        fig = figure10(scale=SCALE, pairs=(("BFS", "KRON"),))
+        row = fig.rows[("BFS", "KRON")]
+        klap = row["KLAP (CDP+A)"]
+        assert abs(sum(klap.values()) - 1.0) < 1e-9
+        assert klap["disagg"] > 0
+        # thresholding increases parent share and decreases child share
+        t_a = row["CDP+T+A"]
+        assert t_a["parent"] > klap["parent"]
+        assert t_a["child"] < klap["child"]
+        assert "Figure 10" in fig.format()
+
+
+class TestFigure11:
+    def test_sweep_structure(self):
+        fig = figure11("BFS", "KRON", scale=SCALE)
+        assert set(fig.series) == {"grid", "multiblock", "block", "warp",
+                                   "none"}
+        assert fig.thresholds[0] is None
+        no_agg = fig.series["none"]
+        # CDP+C alone is approximately CDP (paper: 1.01x geomean).
+        assert no_agg[None] == pytest.approx(1.0, rel=0.1)
+        # thresholding without aggregation must show a rise
+        assert max(v for t, v in no_agg.items() if t) > 1.5
+        assert "Figure 11" in fig.format()
+
+
+class TestFigure12:
+    def test_road_graph_low_parallelism(self):
+        fig = figure12(scale=SCALE)
+        gm = fig.geomeans()
+        # On road graphs No CDP wins big over CDP (Sec. VIII-D)...
+        assert gm["No CDP"] > 2.0
+        # ...and the optimizations recover much but CDP+T cannot beat
+        # No CDP because the launch's mere presence costs (code tax).
+        assert gm["CDP+T"] <= gm["No CDP"] * 1.05
+
+
+class TestFixedThreshold:
+    def test_tuned_at_least_fixed(self):
+        result = fixed_threshold_study(scale=SCALE, pairs=TINY_PAIRS)
+        assert result.tuned_geomean >= result.fixed_geomean * 0.99
+        assert "VIII-C" in result.format()

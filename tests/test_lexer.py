@@ -1,0 +1,128 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minicuda import tokenize
+from repro.minicuda.tokens import (EOF, FLOAT, IDENT, INT, KEYWORD, PUNCT,
+                                   STRING)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_identifier(self):
+        assert kinds("foo _bar x9") == [IDENT, IDENT, IDENT]
+
+    def test_keywords_recognized(self):
+        assert kinds("if else for while int void") == [KEYWORD] * 6
+
+    def test_cuda_qualifiers_are_keywords(self):
+        assert kinds("__global__ __device__ __shared__") == [KEYWORD] * 3
+
+    def test_punctuation(self):
+        assert values("+ - * / % == != <= >= && || << >>") == [
+            "+", "-", "*", "/", "%", "==", "!=", "<=", ">=", "&&", "||",
+            "<<", ">>"]
+
+    def test_launch_delimiters(self):
+        assert values("k<<<1, 2>>>()") == [
+            "k", "<<<", "1", ",", "2", ">>>", "(", ")"]
+
+    def test_compound_assignment_tokens(self):
+        assert values("+= -= *= /= %= &= |= ^=") == [
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="]
+
+    def test_increment_decrement(self):
+        assert values("++x; y--") == ["++", "x", ";", "y", "--"]
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == INT
+        assert token.value == "42"
+
+    def test_hex_literal(self):
+        token = tokenize("0xFF")[0]
+        assert token.kind == INT
+        assert token.value == "0xFF"
+
+    def test_float_literal(self):
+        assert tokenize("3.25")[0].kind == FLOAT
+
+    def test_float_suffix_forces_float(self):
+        assert tokenize("1f")[0].kind == FLOAT
+        assert tokenize("2.0f")[0].kind == FLOAT
+
+    def test_unsigned_suffix_stays_int(self):
+        token = tokenize("1024u")[0]
+        assert token.kind == INT
+        assert token.value == "1024u"
+
+    def test_exponent(self):
+        assert tokenize("1e9")[0].kind == FLOAT
+        assert tokenize("2.5e-3")[0].kind == FLOAT
+
+    def test_number_at_eof_terminates(self):
+        # Regression: "" in "fFuUlL" is True in Python; the suffix loop must
+        # not spin forever when the source ends right after a number.
+        assert tokenize("x/1")[2].kind == INT
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].kind == FLOAT
+
+    def test_member_access_not_float(self):
+        assert values("a.x") == ["a", ".", "x"]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert values("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        assert values("#define _THRESHOLD 128\nx") == ["x"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+class TestStringsAndErrors:
+    def test_string_literal(self):
+        token = tokenize('"hello %d"')[0]
+        assert token.kind == STRING
+        assert token.value == "hello %d"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError) as err:
+            tokenize("int @x;")
+        assert "@" in str(err.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("ok\n   $")
+        assert err.value.line == 2

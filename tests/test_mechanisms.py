@@ -1,0 +1,158 @@
+"""Mechanism tests: each optimization's *claimed effect* is visible in the
+execution trace — not just correctness.
+
+Thresholding reduces the number of dynamic launches; coarsening reduces the
+number of child blocks; aggregation reduces launches while growing grids;
+the aggregation threshold routes small groups to direct launches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Module
+from repro.runtime import Device, blocks
+from repro.transforms import OptConfig, transform
+
+SRC = """
+__global__ void child(int *out, int base, int count) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < count) {
+        atomicAdd(&out[0], base + tid);
+    }
+}
+
+__global__ void parent(int *sizes, int *out, int n) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < n) {
+        int c = sizes[t];
+        if (c > 0) {
+            child<<<(c + 31) / 32, 32>>>(out, t, c);
+        }
+    }
+}
+"""
+
+N = 256
+
+
+def run(config, seed=5, sizes=None):
+    if config is None:
+        module = Module(SRC)
+    else:
+        result = transform(SRC, config)
+        module = Module(result.program, result.meta)
+    dev = Device(module)
+    if sizes is None:
+        rng = np.random.default_rng(seed)
+        sizes = rng.geometric(0.08, N)      # heavy-tailed child sizes
+    d_sizes = dev.upload(sizes)
+    out = dev.alloc("int", 1)
+    dev.launch("parent", blocks(N, 64), 64, d_sizes, out, N)
+    dev.sync()
+    timing = dev.finish()
+    return out[0], timing, dev.trace, sizes
+
+
+class TestThresholdingMechanism:
+    def test_reduces_launch_count_monotonically(self):
+        _, t0, trace0, sizes = run(None)
+        baseline = trace0.total_launches("device")
+        previous = baseline
+        for threshold in (4, 16, 64):
+            _, timing, trace, _ = run(OptConfig(threshold=threshold),
+                                      sizes=sizes)
+            launches = trace.total_launches("device")
+            assert launches <= previous
+            previous = launches
+        assert previous < baseline
+
+    def test_exactly_the_large_children_survive(self):
+        threshold = 16
+        _, _, trace, sizes = run(OptConfig(threshold=threshold))
+        expected = int((sizes >= threshold).sum())
+        assert trace.total_launches("device") == expected
+
+    def test_huge_threshold_serializes_everything(self):
+        ref, _, _, sizes = run(None)
+        out, _, trace, _ = run(OptConfig(threshold=1 << 20), sizes=sizes)
+        assert trace.total_launches("device") == 0
+        assert out == ref
+
+
+class TestCoarseningMechanism:
+    def test_child_block_count_shrinks(self):
+        sizes = np.full(N, 200)             # every child has 7 blocks of 32
+        _, _, plain, _ = run(None, sizes=sizes)
+        _, _, coarse, _ = run(OptConfig(coarsen_factor=4), sizes=sizes)
+        plain_blocks = sum(g.grid_dim for g in plain.grids
+                           if g.kernel == "child")
+        coarse_blocks = sum(g.grid_dim for g in coarse.grids
+                            if g.kernel == "child")
+        assert coarse_blocks * 3 < plain_blocks
+        # launch count is unchanged — coarsening shrinks grids, not launches
+        assert plain.total_launches("device") == \
+            coarse.total_launches("device")
+
+    def test_single_block_children_unchanged(self):
+        sizes = np.full(N, 8)               # 1 block each
+        _, _, plain, _ = run(None, sizes=sizes)
+        _, _, coarse, _ = run(OptConfig(coarsen_factor=8), sizes=sizes)
+        assert sum(g.grid_dim for g in plain.grids if g.kernel == "child") \
+            == sum(g.grid_dim for g in coarse.grids if g.kernel == "child")
+
+
+class TestAggregationMechanism:
+    def test_block_granularity_one_launch_per_parent_block(self):
+        _, _, trace, _ = run(OptConfig(aggregate="block"))
+        parent_blocks = blocks(N, 64)
+        assert trace.total_launches("device") <= parent_blocks
+
+    def test_multiblock_fewer_launches_than_block(self):
+        _, _, block_trace, sizes = run(OptConfig(aggregate="block"))
+        _, _, multi_trace, _ = run(
+            OptConfig(aggregate="multiblock", group_blocks=4), sizes=sizes)
+        assert multi_trace.total_launches("device") \
+            < block_trace.total_launches("device")
+
+    def test_aggregated_grids_are_larger(self):
+        _, _, plain, sizes = run(None)
+        _, _, agg, _ = run(OptConfig(aggregate="block"), sizes=sizes)
+        plain_avg = np.mean([g.grid_dim for g in plain.grids
+                             if g.is_dynamic])
+        agg_avg = np.mean([g.grid_dim for g in agg.grids if g.is_dynamic])
+        assert agg_avg > plain_avg * 2
+
+    def test_grid_granularity_single_host_agg_launch(self):
+        _, timing, trace, _ = run(OptConfig(aggregate="grid"))
+        assert timing.device_launches == 0
+        assert timing.host_agg_launches == 1
+
+    def test_congestion_wait_collapses_with_aggregation(self):
+        _, plain_timing, _, sizes = run(None)
+        _, agg_timing, _, _ = run(OptConfig(aggregate="multiblock"),
+                                  sizes=sizes)
+        assert agg_timing.launch_queue_wait \
+            < plain_timing.launch_queue_wait / 10
+
+
+class TestAggregationThresholdMechanism:
+    def test_small_groups_launch_directly(self):
+        # Make most parent threads non-participating so blocks fall below
+        # the participation threshold -> direct child launches appear.
+        sizes = np.zeros(N, dtype=np.int64)
+        sizes[::37] = 40                     # ~7 participants over 4 blocks
+        ref, _, _, _ = run(None, sizes=sizes)
+        out, _, trace, _ = run(
+            OptConfig(aggregate="block", agg_threshold=8), sizes=sizes)
+        assert out == ref
+        kernels = {g.kernel for g in trace.grids if g.is_dynamic}
+        assert "child" in kernels            # direct fallback used
+        assert "child_agg" not in kernels    # nothing met the threshold
+
+    def test_dense_groups_still_aggregate(self):
+        sizes = np.full(N, 20)
+        out, _, trace, _ = run(
+            OptConfig(aggregate="block", agg_threshold=8), sizes=sizes)
+        kernels = {g.kernel for g in trace.grids if g.is_dynamic}
+        assert "child_agg" in kernels
+        assert "child" not in kernels

@@ -1,0 +1,155 @@
+"""Multi-dimensional kernel execution and transformation tests.
+
+The paper's transformations are presented in 1-D "for simplicity" with the
+note that multi-dimensional kernels get one loop per dimension (Sec. III-B,
+IV-B). The engine executes 2-D/3-D grids, the serializer emits loops per
+dimension, coarsening strides the x dimension only, and aggregation —
+whose scan/search is inherently 1-D — skips multi-dimensional children.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Dim3, Module, alloc_for_type, run_grid
+from repro.harness import outputs_match
+from repro.minicuda.ast import Type
+from repro.runtime import Device, blocks
+from repro.sim import Trace
+from repro.transforms import OptConfig, transform
+
+
+class TestEngine2D:
+    def test_2d_indexing(self):
+        src = """
+        __global__ void k(int *out, int width) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y * blockDim.y + threadIdx.y;
+            out[y * width + x] = y * 100 + x;
+        }
+        """
+        out = alloc_for_type(Type("int"), 8 * 6)
+        module = Module(src)
+        assert module.kernel("k").multi_dim
+        run_grid(module, Trace(), "k", Dim3(2, 3), Dim3(4, 2), (out, 8))
+        expected = np.array([[y * 100 + x for x in range(8)]
+                             for y in range(6)]).ravel()
+        assert np.array_equal(out.to_numpy(), expected)
+
+    def test_3d_block(self):
+        src = """
+        __global__ void k(int *out) {
+            int idx = threadIdx.z * blockDim.y * blockDim.x
+                      + threadIdx.y * blockDim.x + threadIdx.x;
+            out[idx] = idx * 2;
+        }
+        """
+        out = alloc_for_type(Type("int"), 24)
+        run_grid(Module(src), Trace(), "k", Dim3(1), Dim3(2, 3, 4), (out,))
+        assert list(out.array) == [i * 2 for i in range(24)]
+
+    def test_2d_barrier_kernel(self):
+        src = """
+        __global__ void k(int *buf, int *out, int width) {
+            int idx = threadIdx.y * blockDim.x + threadIdx.x;
+            buf[idx] = idx + 1;
+            __syncthreads();
+            out[idx] = buf[(idx + 1) % (blockDim.x * blockDim.y)];
+        }
+        """
+        buf = alloc_for_type(Type("int"), 6)
+        out = alloc_for_type(Type("int"), 6)
+        run_grid(Module(src), Trace(), "k", Dim3(1), Dim3(3, 2),
+                 (buf, out, 3))
+        assert list(out.array) == [2, 3, 4, 5, 6, 1]
+
+    def test_trace_records_totals(self):
+        src = "__global__ void k(int *p) { p[0] = threadIdx.y; }"
+        trace = Trace()
+        run_grid(Module(src), trace, "k", Dim3(2, 2), Dim3(4, 4),
+                 (alloc_for_type(Type("int"), 1),))
+        grid = trace.grids[0]
+        assert grid.grid_dim == 4
+        assert grid.block_dim == 16
+
+    def test_one_dim_kernel_with_2d_launch_runs_all_copies(self):
+        src = "__global__ void k(int *p) { atomicAdd(&p[0], 1); }"
+        out = alloc_for_type(Type("int"), 1)
+        run_grid(Module(src), Trace(), "k", Dim3(2, 3), Dim3(4, 2), (out,))
+        assert out[0] == 2 * 3 * 4 * 2
+
+
+MATRIX_SRC = """
+__global__ void tile_scale(float *m, int width, int rows, int row0,
+                           float factor) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x < width && y < rows) {
+        m[(row0 + y) * width + x] = m[(row0 + y) * width + x] * factor;
+    }
+}
+
+__global__ void parent(float *m, int *row_counts, int width, int nseg) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < nseg) {
+        int rows = row_counts[t];
+        int row0 = t * 8;
+        if (rows > 0) {
+            tile_scale<<<dim3((width + 7) / 8, (rows + 3) / 4, 1),
+                         dim3(8, 4, 1)>>>(m, width, rows, row0, 1.5f);
+        }
+    }
+}
+"""
+
+
+class TestMultiDimTransforms:
+    def _run(self, config):
+        if config is None:
+            module = Module(MATRIX_SRC)
+        else:
+            result = transform(MATRIX_SRC, config)
+            module = Module(result.program, result.meta)
+        dev = Device(module)
+        nseg, width = 30, 20
+        rng = np.random.default_rng(2)
+        m = dev.upload(rng.random(nseg * 8 * width))
+        counts = dev.upload(rng.integers(0, 9, nseg))
+        dev.launch("parent", blocks(nseg, 32), 32, m, counts, width, nseg)
+        dev.sync()
+        return {"m": m.to_numpy()}, dev
+
+    def test_thresholding_serializes_2d_child(self):
+        reference, _ = self._run(None)
+        config = OptConfig(threshold=1 << 20)   # serialize everything
+        outputs, dev = self._run(config)
+        assert outputs_match(reference, outputs)
+        assert dev.trace.total_launches("device") == 0
+
+    def test_thresholding_partial_2d(self):
+        reference, _ = self._run(None)
+        outputs, dev = self._run(OptConfig(threshold=64))
+        assert outputs_match(reference, outputs)
+
+    def test_coarsening_2d_child(self):
+        reference, _ = self._run(None)
+        outputs, _ = self._run(OptConfig(coarsen_factor=2))
+        assert outputs_match(reference, outputs)
+
+    def test_aggregation_skips_2d_child(self):
+        result = transform(MATRIX_SRC, OptConfig(aggregate="block"))
+        assert not result.meta.agg_specs
+        assert result.meta.skipped_sites[0][2] == "multi-dimensional kernel"
+        reference, _ = self._run(None)
+        outputs, _ = self._run(OptConfig(aggregate="block"))
+        assert outputs_match(reference, outputs)
+
+    def test_full_pipeline_2d(self):
+        reference, _ = self._run(None)
+        config = OptConfig(threshold=32, coarsen_factor=2,
+                           aggregate="multiblock")
+        outputs, _ = self._run(config)
+        assert outputs_match(reference, outputs)
+
+    def test_fig4_dim3_pattern_extracted(self):
+        result = transform(MATRIX_SRC, OptConfig(threshold=16))
+        assert "int _threads = width;" in result.source

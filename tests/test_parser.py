@@ -1,0 +1,205 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minicuda import ast, parse, parse_expr, parse_stmt
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.lhs.op == "-"
+        assert expr.lhs.rhs.name == "b"
+
+    def test_comparison_below_logical(self):
+        expr = parse_expr("a < b && c >= d")
+        assert expr.op == "&&"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = c")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("x += 2")
+        assert isinstance(expr, ast.Assign) and expr.op == "+="
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_index_and_member(self):
+        expr = parse_expr("p[i].x")
+        assert isinstance(expr, ast.Member)
+        assert isinstance(expr.obj, ast.Index)
+
+    def test_reserved_member(self):
+        expr = parse_expr("blockIdx.x * blockDim.x + threadIdx.x")
+        assert expr.op == "+"
+
+    def test_call_with_args(self):
+        expr = parse_expr("atomicAdd(&count[0], 1)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+        assert isinstance(expr.args[0], ast.Unary)
+        assert expr.args[0].op == "&"
+
+    def test_cast(self):
+        expr = parse_expr("(float)n / b")
+        assert expr.op == "/"
+        assert isinstance(expr.lhs, ast.Cast)
+        assert expr.lhs.type.name == "float"
+
+    def test_prefix_and_postfix_incdec(self):
+        pre = parse_expr("++i")
+        post = parse_expr("i++")
+        assert isinstance(pre, ast.Unary) and not pre.postfix
+        assert isinstance(post, ast.Unary) and post.postfix
+
+    def test_unary_deref_and_negate(self):
+        expr = parse_expr("-*p")
+        assert expr.op == "-"
+        assert expr.operand.op == "*"
+
+    def test_sizeof_becomes_four(self):
+        expr = parse_expr("n * sizeof(int)")
+        assert isinstance(expr.rhs, ast.IntLit)
+        assert expr.rhs.value == 4
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b c")
+
+
+class TestLaunch:
+    def test_basic_launch(self):
+        stmt = parse_stmt("kern<<<grid, block>>>(a, b);")
+        launch = stmt.expr
+        assert isinstance(launch, ast.Launch)
+        assert launch.kernel == "kern"
+        assert len(launch.args) == 2
+
+    def test_launch_with_expression_config(self):
+        stmt = parse_stmt("k<<<(n + 255) / 256, 256>>>(p);")
+        assert isinstance(stmt.expr.grid, ast.Binary)
+
+    def test_launch_with_shmem_and_stream(self):
+        stmt = parse_stmt("k<<<g, b, 0, s>>>(p);")
+        assert stmt.expr.shmem is not None
+        assert stmt.expr.stream is not None
+
+    def test_launch_no_args(self):
+        stmt = parse_stmt("k<<<1, 1>>>();")
+        assert stmt.expr.args == []
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmt = parse_stmt("int x = 5;")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert stmt.decls[0].name == "x"
+        assert stmt.decls[0].init.value == 5
+
+    def test_multi_declarator(self):
+        stmt = parse_stmt("int a = 1, b, *c;")
+        assert [d.name for d in stmt.decls] == ["a", "b", "c"]
+        assert stmt.decls[2].type.pointers == 1
+
+    def test_shared_array_declaration(self):
+        stmt = parse_stmt("__shared__ float buf[256];")
+        decl = stmt.decls[0]
+        assert decl.is_shared
+        assert decl.array_size.value == 256
+
+    def test_dim3_declaration(self):
+        stmt = parse_stmt("dim3 g = dim3(4, 2, 1);")
+        assert stmt.decls[0].type.name == "dim3"
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (a) { x = 1; } else { x = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.orelse is None
+        assert stmt.then.orelse is not None
+
+    def test_for_loop(self):
+        stmt = parse_stmt("for (int i = 0; i < n; ++i) { s += i; }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_with_empty_parts(self):
+        stmt = parse_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_and_do_while(self):
+        assert isinstance(parse_stmt("while (x) { --x; }"), ast.While)
+        assert isinstance(parse_stmt("do { --x; } while (x);"), ast.DoWhile)
+
+    def test_return_break_continue(self):
+        assert isinstance(parse_stmt("return;"), ast.Return)
+        assert parse_stmt("return x;").value.name == "x"
+        assert isinstance(parse_stmt("break;"), ast.Break)
+        assert isinstance(parse_stmt("continue;"), ast.Continue)
+
+    def test_empty_statement(self):
+        stmt = parse_stmt(";")
+        assert isinstance(stmt, ast.Compound)
+        assert stmt.stmts == []
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+
+class TestProgram:
+    def test_kernel_and_device_functions(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        assert [f.name for f in program.kernels()] == ["child", "parent"]
+
+    def test_qualifiers(self):
+        program = parse("__device__ int helper(int x) { return x + 1; }")
+        func = program.function("helper")
+        assert func.is_device and not func.is_kernel
+
+    def test_global_variable(self):
+        program = parse("__device__ int counter = 0;")
+        decl = program.decls[0]
+        assert isinstance(decl, ast.DeclStmt)
+        assert decl.decls[0].qualifiers == ("__device__",)
+
+    def test_prototype_without_body(self):
+        program = parse("__global__ void k(int *p);")
+        assert program.function("k").body is None
+
+    def test_const_pointer_param(self):
+        program = parse("__global__ void k(const int *p) { p[0]; }")
+        param = program.function("k").params[0]
+        assert param.type.const and param.type.pointers == 1
+
+    def test_unknown_function_lookup_raises(self, bfs_like_source):
+        with pytest.raises(KeyError):
+            parse(bfs_like_source).function("nope")
+
+    def test_index_of(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        assert program.index_of("child") == 0
+        assert program.index_of("parent") == 1

@@ -1,0 +1,106 @@
+"""Pipeline / OptConfig tests (Sec. VI composition)."""
+
+import pytest
+
+from repro.minicuda import parse, print_source
+from repro.minicuda.visitor import find_all
+from repro.minicuda import ast
+from repro.transforms import (OptConfig, TransformResult, transform)
+
+
+class TestOptConfig:
+    def test_labels(self):
+        assert OptConfig().label == "CDP"
+        assert OptConfig(threshold=1).label == "CDP+T"
+        assert OptConfig(coarsen_factor=2).label == "CDP+C"
+        assert OptConfig(aggregate="block").label == "CDP+A"
+        assert OptConfig(threshold=1, coarsen_factor=2,
+                         aggregate="grid").label == "CDP+T+C+A"
+
+    def test_from_label(self):
+        config = OptConfig.from_label("CDP+T+A", threshold=99,
+                                      aggregate="warp")
+        assert config.threshold == 99
+        assert config.coarsen_factor is None
+        assert config.aggregate == "warp"
+
+    def test_from_label_requires_cdp(self):
+        with pytest.raises(ValueError):
+            OptConfig.from_label("T+C")
+
+    def test_with_params(self):
+        config = OptConfig(threshold=1).with_params(threshold=7)
+        assert config.threshold == 7
+
+
+class TestTransform:
+    def test_input_program_not_mutated(self, bfs_like_source):
+        program = parse(bfs_like_source)
+        before = print_source(program)
+        transform(program, OptConfig.from_label("CDP+T+C+A"))
+        assert print_source(program) == before
+
+    def test_all_three_metas_merged(self, bfs_like_source):
+        result = transform(bfs_like_source,
+                           OptConfig(threshold=32, coarsen_factor=4,
+                                     aggregate="multiblock"))
+        assert result.meta.macros["_THRESHOLD"] == 32
+        assert result.meta.macros["_CFACTOR"] == 4
+        assert result.meta.macros["_AGG_GRANULARITY"] == 8
+        assert result.meta.serial_functions
+        assert result.meta.coarsened_kernels
+        assert result.meta.agg_specs
+
+    def test_source_property(self, bfs_like_source):
+        result = transform(bfs_like_source, OptConfig(threshold=1))
+        assert isinstance(result, TransformResult)
+        assert "_THRESHOLD" in result.source
+
+    def test_empty_config_is_identity_modulo_format(self, bfs_like_source):
+        result = transform(bfs_like_source, OptConfig())
+        expected = print_source(parse(bfs_like_source))
+        assert result.source == expected
+
+    def test_t_then_c_serial_clone_is_uncoarsened(self, bfs_like_source):
+        """Pipeline order: the serial clone must come from the original
+        child, not the coarsened one."""
+        result = transform(bfs_like_source,
+                           OptConfig(threshold=8, coarsen_factor=4))
+        serial = result.program.function("child_serial")
+        names = {p.name for p in serial.params}
+        # the coarsening _gDim param must not leak into the serial clone's
+        # original parameter prefix (its own dim3 params are _gDim/_bDim
+        # appended at the end)
+        assert [p.name for p in serial.params[:-2]] == \
+            [p.name for p in parse(bfs_like_source).function("child").params]
+
+    def test_c_then_a_disagg_outside_coarsening_loop(self, bfs_like_source):
+        result = transform(bfs_like_source,
+                           OptConfig(coarsen_factor=4, aggregate="block"))
+        agg = result.program.function("child_agg")
+        # The binary search (disagg) precedes the coarsening For loop.
+        stmts = agg.body.stmts
+        first_loop_idx = next(i for i, s in enumerate(stmts)
+                              if find_all(s, ast.For))
+        assert any(isinstance(s, ast.While) or find_all(s, ast.While)
+                   for s in stmts[:first_loop_idx])
+
+    def test_alternative_order_supported(self, bfs_like_source):
+        result = transform(bfs_like_source,
+                           OptConfig(threshold=8, coarsen_factor=4,
+                                     aggregate="block"),
+                           order=("C", "T", "A"))
+        text = result.source
+        assert print_source(parse(text)) == text
+
+    def test_thresholded_launch_aggregated(self, bfs_like_source):
+        """T then A: the guarded launch becomes store code; the serial
+        branch survives."""
+        result = transform(bfs_like_source,
+                           OptConfig(threshold=8, aggregate="block"))
+        parent = result.program.function("parent")
+        launch_kernels = {l.kernel for l in find_all(parent, ast.Launch)}
+        assert launch_kernels == {"child_agg"}
+        calls = {c.func.name for c in find_all(parent, ast.Call)
+                 if isinstance(c.func, ast.Ident)}
+        assert "child_serial" in calls

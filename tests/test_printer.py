@@ -1,0 +1,87 @@
+"""Printer unit tests: rendering and parenthesization."""
+
+from repro.minicuda import parse, parse_expr, parse_stmt, print_expr, \
+    print_source, print_stmt
+
+
+def roundtrip_expr(text):
+    return print_expr(parse_expr(text))
+
+
+class TestExpressionPrinting:
+    def test_minimal_parens_for_precedence(self):
+        assert roundtrip_expr("(a + b) * c") == "(a + b) * c"
+        assert roundtrip_expr("a + b * c") == "a + b * c"
+
+    def test_redundant_parens_dropped(self):
+        assert roundtrip_expr("((a)) + ((b))") == "a + b"
+
+    def test_right_operand_parens_for_same_precedence(self):
+        # a - (b - c) must keep its parens; (a - b) - c must not.
+        assert roundtrip_expr("a - (b - c)") == "a - (b - c)"
+        assert roundtrip_expr("a - b - c") == "a - b - c"
+
+    def test_unary_spacing_avoids_decrement(self):
+        # "-(-x)" must not print as "--x".
+        assert "--" not in roundtrip_expr("-(-x)")
+
+    def test_launch_format(self):
+        text = print_stmt(parse_stmt("k<<<g, b>>>(x, y);"))
+        assert text == "k<<<g, b>>>(x, y);"
+
+    def test_cast(self):
+        assert roundtrip_expr("(float)n / b") == "(float)n / b"
+
+    def test_ternary(self):
+        assert roundtrip_expr("a ? b : c") == "a ? b : c"
+
+    def test_index_member_chain(self):
+        assert roundtrip_expr("p[i].x") == "p[i].x"
+
+    def test_address_of_call(self):
+        assert roundtrip_expr("atomicAdd(&c[0], 1)") == "atomicAdd(&c[0], 1)"
+
+    def test_assignment(self):
+        assert roundtrip_expr("x += y * 2") == "x += y * 2"
+
+
+class TestStatementPrinting:
+    def test_if_else_layout(self):
+        text = print_stmt(parse_stmt("if (a) { x = 1; } else { y = 2; }"))
+        assert "if (a)" in text
+        assert "else" in text
+
+    def test_for_header(self):
+        text = print_stmt(parse_stmt("for (int i = 0; i < n; i += 1) {}"))
+        assert text.startswith("for (int i = 0; i < n; i += 1)")
+
+    def test_declaration_with_pointers(self):
+        text = print_stmt(parse_stmt("int *p, q;"))
+        assert text == "int *p, q;"
+
+    def test_shared_array(self):
+        text = print_stmt(parse_stmt("__shared__ float buf[256];"))
+        assert text == "__shared__ float buf[256];"
+
+    def test_do_while(self):
+        text = print_stmt(parse_stmt("do { x = 1; } while (false);"))
+        assert text.rstrip().endswith("while (false);")
+
+
+class TestProgramPrinting:
+    def test_stable_fixpoint(self, bfs_like_source):
+        once = print_source(parse(bfs_like_source))
+        twice = print_source(parse(once))
+        assert once == twice
+
+    def test_barrier_source_fixpoint(self, barrier_child_source):
+        once = print_source(parse(barrier_child_source))
+        assert print_source(parse(once)) == once
+
+    def test_qualifiers_printed(self):
+        text = print_source(parse("__device__ int f(int x) { return x; }"))
+        assert text.startswith("__device__ int f(int x)")
+
+    def test_global_decl_printed(self):
+        text = print_source(parse("__device__ int counter = 0;"))
+        assert "__device__ int counter = 0;" in text

@@ -1,0 +1,145 @@
+"""Promotion tests (KLAP's recursion-to-loop optimization, Sec. IX)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Module
+from repro.errors import TransformError
+from repro.minicuda import ast, parse, print_source
+from repro.minicuda.visitor import find_all
+from repro.runtime import Device
+from repro.transforms import PromotionPass, find_promotable_sites
+
+# Double-buffered pointer jumping: each round halves the depth of a linked
+# structure and recursively relaunches itself with the buffers swapped —
+# the classic single-block recursive CDP pattern. (Double buffering keeps
+# rounds well-defined regardless of intra-round thread interleaving; the
+# swapped pointer arguments also exercise pointer-valued promotion buffers.)
+RECURSIVE_SRC = """
+__global__ void jump(int *cur, int *nxt, int *changed, int n, int depth) {
+    int t = threadIdx.x;
+    if (t < n) {
+        int nn = cur[cur[t]];
+        nxt[t] = nn;
+        if (nn != cur[t]) {
+            atomicAdd(&changed[0], 1);
+        }
+    }
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        if (changed[0] > 0 && depth < 64) {
+            changed[0] = 0;
+            jump<<<1, 256>>>(nxt, cur, changed, n, depth + 1);
+        }
+    }
+}
+"""
+
+
+def run_jump(module, n=200, seed=3):
+    dev = Device(module)
+    rng = np.random.default_rng(seed)
+    # mostly one long chain (deep recursion), a few fresh roots
+    next_arr = np.arange(n, dtype=np.int64)
+    for i in range(1, n):
+        if rng.random() < 0.95:
+            next_arr[i] = i - 1
+    cur = dev.upload(next_arr)
+    nxt = dev.upload(next_arr)
+    changed = dev.alloc("int", 1)
+    dev.launch("jump", 1, 256, cur, nxt, changed, n, 0)
+    dev.sync()
+    dev.finish()
+    # After convergence the final round writes no changes, so both buffers
+    # hold the fixed point.
+    assert np.array_equal(cur.to_numpy(), nxt.to_numpy())
+    return cur.to_numpy(), dev
+
+
+class TestDetection:
+    def test_site_found(self):
+        sites = find_promotable_sites(parse(RECURSIVE_SRC))
+        assert len(sites) == 1
+        assert sites[0].parent.name == "jump"
+
+    def test_non_recursive_not_promotable(self, bfs_like_source):
+        assert find_promotable_sites(parse(bfs_like_source)) == []
+
+    def test_multiblock_recursion_not_promotable(self):
+        src = """
+        __global__ void r(int *p, int d) {
+            if (d > 0 && threadIdx.x == 0) {
+                r<<<4, 32>>>(p, d - 1);
+            }
+        }
+        """
+        assert find_promotable_sites(parse(src)) == []
+
+
+class TestStructure:
+    def test_launch_removed_and_loop_inserted(self):
+        program = parse(RECURSIVE_SRC)
+        meta = PromotionPass().run(program)
+        assert len(meta.promotion_specs) == 1
+        kernel = program.function("jump")
+        assert not find_all(kernel, ast.Launch)
+        whiles = find_all(kernel, ast.While)
+        assert whiles  # the round loop
+
+    def test_buffer_params_appended(self):
+        program = parse(RECURSIVE_SRC)
+        meta = PromotionPass().run(program)
+        spec = meta.promotion_specs[0]
+        kernel = program.function("jump")
+        names = [p.name for p in kernel.params]
+        assert names[-len(spec.buffer_params):] == spec.buffer_params
+        # one buffer per original param + the flag
+        assert len(spec.buffer_params) == 6
+
+    def test_output_reparses(self):
+        program = parse(RECURSIVE_SRC)
+        PromotionPass().run(program)
+        text = print_source(program)
+        assert print_source(parse(text)) == text
+
+    def test_return_in_loop_rejected(self):
+        src = """
+        __global__ void r(int *p, int d) {
+            for (int i = 0; i < d; ++i) {
+                if (p[i] < 0) { return; }
+            }
+            if (threadIdx.x == 0 && d > 0) {
+                r<<<1, 32>>>(p, d - 1);
+            }
+        }
+        """
+        with pytest.raises(TransformError):
+            PromotionPass().run(parse(src))
+
+
+class TestSemanticsAndEffect:
+    def test_promoted_kernel_computes_same_result(self):
+        reference, ref_dev = run_jump(Module(RECURSIVE_SRC))
+        program = parse(RECURSIVE_SRC)
+        meta = PromotionPass().run(program)
+        promoted, prom_dev = run_jump(Module(program, meta))
+        assert np.array_equal(reference, promoted)
+        # pointer jumping converged: everything points at a root
+        roots = reference[reference]
+        assert np.array_equal(roots, reference)
+
+    def test_promotion_eliminates_all_launches(self):
+        _, ref_dev = run_jump(Module(RECURSIVE_SRC))
+        assert ref_dev.trace.total_launches("device") > 2
+
+        program = parse(RECURSIVE_SRC)
+        meta = PromotionPass().run(program)
+        _, prom_dev = run_jump(Module(program, meta))
+        assert prom_dev.trace.total_launches("device") == 0
+
+    def test_promotion_is_faster(self):
+        _, ref_dev = run_jump(Module(RECURSIVE_SRC))
+        program = parse(RECURSIVE_SRC)
+        meta = PromotionPass().run(program)
+        _, prom_dev = run_jump(Module(program, meta))
+        assert prom_dev.finish().total_time < ref_dev.finish().total_time

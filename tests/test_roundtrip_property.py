@@ -1,0 +1,86 @@
+"""Property-based tests: print → parse is the identity on ASTs.
+
+Random expression/statement ASTs are generated structurally (not as random
+text), printed, re-parsed, and compared with the structural-equality helper
+used by the Fig. 4 analysis.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import expr_equal
+from repro.minicuda import ast, parse, parse_expr, print_expr, print_source
+
+_NAMES = ("a", "b", "c", "n", "x", "deg", "p")
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(min_value=0, max_value=1 << 20).map(ast.IntLit),
+        st.sampled_from(_NAMES).map(ast.Ident),
+        st.booleans().map(ast.BoolLit),
+    )
+
+
+def _exprs():
+    binary_ops = st.sampled_from(
+        ["+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">=",
+         "&&", "||", "&", "|", "^", "<<", ">>"])
+    unary_ops = st.sampled_from(["-", "!", "~"])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(binary_ops, children, children).map(
+                lambda t: ast.Binary(t[0], t[1], t[2])),
+            st.tuples(unary_ops, children).map(
+                lambda t: ast.Unary(t[0], t[1])),
+            st.tuples(children, children, children).map(
+                lambda t: ast.Ternary(t[0], t[1], t[2])),
+            st.tuples(st.sampled_from(_NAMES), children).map(
+                lambda t: ast.Index(ast.Ident(t[0]), t[1])),
+            st.tuples(st.sampled_from(("min", "max")), children,
+                      children).map(
+                lambda t: ast.Call(ast.Ident(t[0]), [t[1], t[2]])),
+            st.tuples(st.sampled_from(("float", "int")), children).map(
+                lambda t: ast.Cast(ast.Type(t[0]), t[1])),
+        )
+
+    return st.recursive(_leaf(), extend, max_leaves=25)
+
+
+@given(_exprs())
+@settings(max_examples=300, deadline=None)
+def test_expr_print_parse_roundtrip(expr):
+    printed = print_expr(expr)
+    reparsed = parse_expr(printed)
+    assert expr_equal(expr, reparsed), printed
+
+
+@given(_exprs())
+@settings(max_examples=100, deadline=None)
+def test_expr_print_is_stable(expr):
+    printed = print_expr(expr)
+    assert print_expr(parse_expr(printed)) == printed
+
+
+@given(_exprs(), _exprs())
+@settings(max_examples=150, deadline=None)
+def test_program_roundtrip_with_generated_body(cond, value):
+    program = ast.Program([ast.FunctionDef(
+        ("__global__",), ast.VOID.clone(), "k",
+        [ast.Param(ast.INT.pointer_to(), "p"), ast.Param(ast.INT.clone(), "n")],
+        ast.Compound([
+            ast.If(cond, ast.Compound([
+                ast.ExprStmt(ast.Assign("=", ast.Index(ast.Ident("p"),
+                                                       ast.IntLit(0)),
+                                        value))]), None),
+        ]))])
+    once = print_source(program)
+    assert print_source(parse(once)) == once
+
+
+@given(_exprs())
+@settings(max_examples=100, deadline=None)
+def test_expr_equal_is_reflexive(expr):
+    assert expr_equal(expr, expr)
+    assert expr_equal(expr.clone(), expr)

@@ -1,0 +1,94 @@
+"""Property-based timing-simulation tests: invariants over random traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (DEVICE, HOST, BlockCost, DeviceConfig, LaunchRecord,
+                       Trace, simulate)
+
+
+@st.composite
+def random_traces(draw):
+    """A random host-launched forest of grids with dynamic children."""
+    trace = Trace()
+    num_parents = draw(st.integers(1, 4))
+    for _ in range(num_parents):
+        parent = trace.new_grid("p", 0, draw(st.sampled_from([32, 64, 256])))
+        num_blocks = draw(st.integers(1, 6))
+        parent.grid_dim = num_blocks
+        for _ in range(num_blocks):
+            cycles = draw(st.integers(1, 5000))
+            parent.blocks.append(BlockCost(cycles, cycles))
+        parent.launch = LaunchRecord(kind=HOST, grid=parent)
+        trace.host_events.append(("launch", parent))
+        num_children = draw(st.integers(0, 5))
+        for _ in range(num_children):
+            child = trace.new_grid("c", 1, 32)
+            cycles = draw(st.integers(1, 1000))
+            child.blocks.append(BlockCost(cycles, cycles))
+            record = LaunchRecord(
+                kind=DEVICE, grid=child, parent_grid=parent,
+                parent_block=draw(st.integers(0, num_blocks - 1)),
+                issue_offset=draw(st.integers(0, 2000)))
+            child.launch = record
+            parent.children.append(record)
+        if draw(st.booleans()):
+            trace.host_events.append(("sync",))
+    trace.host_events.append(("sync",))
+    return trace
+
+
+CONFIG = DeviceConfig()
+
+
+@given(random_traces())
+@settings(max_examples=80, deadline=None)
+def test_every_grid_finishes_after_it_starts(trace):
+    result = simulate(trace, CONFIG)
+    for grid in trace.grids:
+        timing = result.grid_timings[grid.gid]
+        assert timing.finish >= timing.first_start >= timing.ready >= 0
+        assert timing.blocks_done == len(grid.blocks)
+
+
+@given(random_traces())
+@settings(max_examples=80, deadline=None)
+def test_total_time_bounds(trace):
+    result = simulate(trace, CONFIG)
+    finishes = [result.grid_timings[g.gid].finish for g in trace.grids]
+    assert result.total_time >= max(finishes)
+    # Lower bound: the host must at least pay per-launch latency plus the
+    # slowest single block run alone.
+    host_launches = trace.total_launches(HOST)
+    assert result.total_time >= host_launches * CONFIG.host_launch_latency
+
+
+@given(random_traces())
+@settings(max_examples=60, deadline=None)
+def test_children_respect_launch_latency(trace):
+    result = simulate(trace, CONFIG)
+    minimum_delay = CONFIG.launch_service_interval \
+        + CONFIG.device_launch_latency
+    for grid in trace.grids:
+        if grid.launch is not None and grid.launch.kind == DEVICE:
+            parent_timing = result.grid_timings[grid.launch.parent_grid.gid]
+            child_timing = result.grid_timings[grid.gid]
+            assert child_timing.ready \
+                >= parent_timing.first_start + minimum_delay
+
+
+@given(random_traces())
+@settings(max_examples=40, deadline=None)
+def test_simulation_is_deterministic(trace):
+    first = simulate(trace, CONFIG)
+    second = simulate(trace, CONFIG)
+    assert first.total_time == second.total_time
+    assert first.launch_queue_wait == second.launch_queue_wait
+
+
+@given(random_traces(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_more_sms_never_slower(trace, extra):
+    small = simulate(trace, DeviceConfig(num_sms=2))
+    large = simulate(trace, DeviceConfig(num_sms=2 + extra))
+    assert large.total_time <= small.total_time

@@ -1,0 +1,146 @@
+"""Shared-memory execution tests.
+
+The engine supports ``__shared__`` arrays (block-scoped, one instance per
+block) so that barrier/reduction-style child kernels can run under CDP and
+under *aggregation* — the paper only excludes them from *thresholding*
+(Sec. III-C).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Dim3, Module, alloc_for_type, run_grid
+from repro.harness import outputs_match
+from repro.minicuda.ast import Type
+from repro.runtime import Device, blocks
+from repro.sim import Trace
+from repro.transforms import OptConfig, ThresholdingPass, transform
+from repro.minicuda import parse
+
+REDUCE_SRC = """
+__global__ void reduce(float *data, float *out, int n) {
+    __shared__ float buf[64];
+    int tid = threadIdx.x;
+    int idx = blockIdx.x * blockDim.x + tid;
+    buf[tid] = idx < n ? data[idx] : 0.0f;
+    __syncthreads();
+    for (int s = 32; s > 0; s = s / 2) {
+        if (tid < s) {
+            buf[tid] = buf[tid] + buf[tid + s];
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        out[blockIdx.x] = buf[0];
+    }
+}
+"""
+
+
+def run_reduce(n=200, blocks_=4):
+    module = Module(REDUCE_SRC)
+    data = alloc_for_type(Type("float"), n)
+    rng = np.random.default_rng(3)
+    data.array[:] = rng.random(n)
+    out = alloc_for_type(Type("float"), blocks_)
+    trace = Trace()
+    run_grid(module, trace, "reduce", Dim3(blocks_), Dim3(64),
+             (data, out, n))
+    return data.array, out.array
+
+
+class TestSharedReduction:
+    def test_tree_reduction_correct(self):
+        data, out = run_reduce(n=200, blocks_=4)
+        expected = [data[i * 64:(i + 1) * 64].sum() for i in range(4)]
+        # clamp to n
+        expected[3] = data[192:200].sum()
+        assert np.allclose(out, expected)
+
+    def test_blocks_get_fresh_shared_arrays(self):
+        src = """
+        __global__ void k(int *out) {
+            __shared__ int cell[1];
+            if (threadIdx.x == 0) {
+                cell[0] = cell[0] + 100 + blockIdx.x;
+            }
+            __syncthreads();
+            out[blockIdx.x] = cell[0];
+        }
+        """
+        out = alloc_for_type(Type("int"), 3)
+        module = Module(src)
+        run_grid(module, Trace(), "k", Dim3(3), Dim3(4), (out,))
+        # each block starts from a zeroed array: 100, 101, 102
+        assert list(out.array) == [100, 101, 102]
+
+    def test_shared_without_barrier(self):
+        src = """
+        __global__ void k(int *out) {
+            __shared__ int buf[8];
+            buf[threadIdx.x] = threadIdx.x;
+            out[threadIdx.x] = buf[threadIdx.x] * 3;
+        }
+        """
+        out = alloc_for_type(Type("int"), 8)
+        module = Module(src)
+        run_grid(module, Trace(), "k", Dim3(1), Dim3(8), (out,))
+        assert list(out.array) == [0, 3, 6, 9, 12, 15, 18, 21]
+
+
+BARRIER_CDP_SRC = REDUCE_SRC + """
+__global__ void parent(float *data, float *out, int *offs, int nseg) {
+    int t = blockIdx.x * blockDim.x + threadIdx.x;
+    if (t < nseg) {
+        int start = offs[t];
+        int len = offs[t + 1] - start;
+        if (len > 0) {
+            reduce<<<(len + 63) / 64, 64>>>(data, out, len);
+        }
+    }
+}
+"""
+
+
+class TestBarrierChildrenUnderOptimization:
+    """A reduction child can be aggregated/coarsened but not thresholded."""
+
+    def _run(self, config):
+        if config is None:
+            module = Module(BARRIER_CDP_SRC)
+        else:
+            result = transform(BARRIER_CDP_SRC, config)
+            module = Module(result.program, result.meta)
+        dev = Device(module)
+        rng = np.random.default_rng(11)
+        nseg = 40
+        lens = rng.integers(0, 150, nseg)
+        offs = np.zeros(nseg + 1, dtype=np.int64)
+        offs[1:] = np.cumsum(lens)
+        data = dev.upload(rng.random(int(offs[-1]) + 1))
+        out = dev.alloc("float", 256)
+        d_offs = dev.upload(offs)
+        dev.launch("parent", blocks(nseg, 64), 64, data, out, d_offs, nseg)
+        dev.sync()
+        dev.finish()
+        return {"out": out.to_numpy()}
+
+    def test_aggregation_preserves_reduction(self):
+        reference = self._run(None)
+        for granularity in ("block", "multiblock", "grid"):
+            outputs = self._run(OptConfig(aggregate=granularity))
+            assert outputs_match(reference, outputs, rtol=1e-9), granularity
+
+    def test_coarsening_preserves_reduction(self):
+        reference = self._run(None)
+        outputs = self._run(OptConfig(coarsen_factor=4))
+        assert outputs_match(reference, outputs, rtol=1e-9)
+
+    def test_thresholding_refuses_but_still_correct(self):
+        program = parse(BARRIER_CDP_SRC)
+        meta = ThresholdingPass(64).run(program)
+        assert meta.thresholded_sites == 0
+        assert meta.skipped_sites
+        reference = self._run(None)
+        outputs = self._run(OptConfig(threshold=64))
+        assert outputs_match(reference, outputs, rtol=1e-9)

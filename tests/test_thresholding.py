@@ -1,0 +1,199 @@
+"""Thresholding transformation tests (Fig. 3 structure and legality)."""
+
+import pytest
+
+from repro.analysis import find_launch_sites
+from repro.minicuda import ast, parse, print_source
+from repro.minicuda.visitor import find_all
+from repro.transforms import ThresholdingPass
+from repro.transforms.thresholding import THRESHOLD_MACRO
+
+
+def run_pass(source, threshold=128):
+    program = parse(source)
+    meta = ThresholdingPass(threshold).run(program)
+    return program, meta
+
+
+class TestStructure:
+    def test_serial_device_function_created(self, bfs_like_source):
+        program, meta = run_pass(bfs_like_source)
+        assert meta.serial_functions == ["child_serial"]
+        serial = program.function("child_serial")
+        assert serial.is_device and not serial.is_kernel
+
+    def test_serial_has_gdim_bdim_params(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        serial = program.function("child_serial")
+        names = serial.param_names()
+        assert names[-2:] == ["_gDim", "_bDim"]
+        assert serial.params[-1].type.name == "dim3"
+
+    def test_serial_nested_loops(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        serial = program.function("child_serial")
+        loops = find_all(serial, ast.For)
+        assert len(loops) == 2  # block loop around thread loop
+
+    def test_serial_body_has_no_reserved_vars(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        serial = program.function("child_serial")
+        names = {n.name for n in find_all(serial, ast.Ident)}
+        assert "blockIdx" not in names
+        assert "threadIdx" not in names
+        assert "gridDim" not in names
+        assert "blockDim" not in names
+
+    def test_launch_site_guarded_by_threshold(self, bfs_like_source):
+        program, meta = run_pass(bfs_like_source, threshold=64)
+        parent = program.function("parent")
+        guards = [i for i in find_all(parent, ast.If)
+                  if isinstance(i.cond, ast.Binary) and i.cond.op == ">="
+                  and isinstance(i.cond.rhs, ast.Ident)
+                  and i.cond.rhs.name == THRESHOLD_MACRO]
+        assert len(guards) == 1
+        guard = guards[0]
+        assert find_all(guard.then, ast.Launch)
+        serial_calls = [c for c in find_all(guard.orelse, ast.Call)
+                        if isinstance(c.func, ast.Ident)
+                        and c.func.name == "child_serial"]
+        assert len(serial_calls) == 1
+
+    def test_threshold_macro_recorded(self, bfs_like_source):
+        _, meta = run_pass(bfs_like_source, threshold=64)
+        assert meta.macros[THRESHOLD_MACRO] == 64
+        assert meta.thresholded_sites == 1
+
+    def test_count_expression_moved_not_duplicated(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        text = print_source(program)
+        # "degree" must appear once in the _threads decl and once inside the
+        # hoisted arg, but not inside the grid expression anymore.
+        assert "int _threads = degree;" in text
+        assert "(_threads + 255) / 256" in text
+
+    def test_original_child_kernel_untouched(self, bfs_like_source):
+        from repro.minicuda.printer import Printer
+        before = Printer().function(parse(bfs_like_source).function("child"))
+        program, _ = run_pass(bfs_like_source)
+        after = Printer().function(program.function("child"))
+        assert before == after
+
+    def test_output_reparses(self, bfs_like_source):
+        program, _ = run_pass(bfs_like_source)
+        text = print_source(program)
+        assert print_source(parse(text)) == text
+
+
+class TestLegality:
+    def test_barrier_child_skipped(self, barrier_child_source):
+        program, meta = run_pass(barrier_child_source)
+        assert meta.thresholded_sites == 0
+        assert meta.skipped_sites
+        reason = meta.skipped_sites[0][2]
+        assert "barrier" in reason or "shared" in reason
+        # Launch left untouched.
+        assert len(find_all(program.function("parent"), ast.Launch)) == 1
+
+    def test_shared_memory_only_child_skipped(self):
+        source = """
+        __global__ void c(float *p, int n) {
+            __shared__ float buf[32];
+            buf[threadIdx.x] = p[threadIdx.x];
+            p[threadIdx.x] = buf[threadIdx.x] * 2.0f;
+        }
+        __global__ void parent(float *p, int *sizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<(sizes[t] + 31) / 32, 32>>>(p, sizes[t]); }
+        }
+        """
+        _, meta = run_pass(source)
+        assert meta.skipped_sites[0][2] == "shared memory"
+
+    def test_multidimensional_child_gets_loops_per_dimension(self):
+        # Sec. III-B: "if the child kernel is multi-dimensional, loops would
+        # be inserted for each dimension".
+        source = """
+        __global__ void c(int *p, int n) {
+            p[threadIdx.y * blockDim.x + threadIdx.x] = n;
+        }
+        __global__ void parent(int *p, int *sizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<(sizes[t] + 31) / 32, 32>>>(p, sizes[t]); }
+        }
+        """
+        program, meta = run_pass(source)
+        assert meta.thresholded_sites == 1
+        serial = program.function("c_serial")
+        loops = find_all(serial, ast.For)
+        assert len(loops) == 6  # 3 grid dims x 3 block dims
+
+    def test_guard_return_becomes_continue(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t >= n) { return; }
+            p[t] = t;
+        }
+        __global__ void parent(int *p, int *sizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<(sizes[t] + 31) / 32, 32>>>(p, sizes[t]); }
+        }
+        """
+        program, meta = run_pass(source)
+        assert meta.thresholded_sites == 1
+        serial = program.function("c_serial")
+        assert find_all(serial, ast.Continue)
+        assert not find_all(serial, ast.Return)
+
+    def test_return_inside_loop_skipped(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            for (int i = 0; i < n; ++i) {
+                if (p[i] < 0) { return; }
+                p[i] = i;
+            }
+        }
+        __global__ void parent(int *p, int *sizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<(sizes[t] + 31) / 32, 32>>>(p, sizes[t]); }
+        }
+        """
+        _, meta = run_pass(source)
+        assert meta.skipped_sites[0][2] == "return inside loop"
+
+
+class TestFallback:
+    def test_unanalyzable_grid_uses_product(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { p[t] = t; }
+        }
+        __global__ void parent(int *p, int *gridsizes, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { c<<<gridsizes[t], 128>>>(p, n); }
+        }
+        """
+        program, meta = run_pass(source)
+        assert meta.thresholded_sites == 1
+        text = print_source(program)
+        assert "_tgDim.x * _tbDim.x" in text
+
+    def test_two_sites_same_child_share_serial_clone(self):
+        source = """
+        __global__ void c(int *p, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) { p[t] = t; }
+        }
+        __global__ void parent(int *p, int *a, int *b, int n) {
+            int t = blockIdx.x * blockDim.x + threadIdx.x;
+            if (t < n) {
+                c<<<(a[t] + 31) / 32, 32>>>(p, a[t]);
+                c<<<(b[t] + 31) / 32, 32>>>(p, b[t]);
+            }
+        }
+        """
+        program, meta = run_pass(source)
+        assert meta.thresholded_sites == 2
+        assert meta.serial_functions == ["c_serial"]
