@@ -3,29 +3,29 @@ not very sensitive to the coarsening factor provided it is sufficiently
 large")."""
 
 from repro.benchmarks import get_benchmark
-from repro.harness import TuningParams, geomean, run_variant
+from repro.harness import SweepExecutor, SweepPoint, TuningParams
 
 from conftest import save
 
 FACTORS = (1, 2, 4, 8, 16, 32, 64)
 
 
-def _sweep(scale):
-    bench = get_benchmark("MSTF")
-    data = bench.build_dataset("KRON", scale)
-    cdp = run_variant(bench, data, "CDP")
-    rows = []
-    for factor in FACTORS:
-        params = TuningParams(threshold=32, coarsen_factor=factor,
-                              granularity="block")
-        result = run_variant(bench, data, "CDP+T+C+A", params)
-        rows.append((factor, result.total_time,
-                     cdp.total_time / result.total_time))
-    return rows
+def _sweep(scale, executor):
+    executor = executor or SweepExecutor()
+    cdp, = executor.run([SweepPoint("MSTF", "KRON", "CDP", scale=scale)])
+    points = [SweepPoint("MSTF", "KRON", "CDP+T+C+A",
+                         TuningParams(threshold=32, coarsen_factor=factor,
+                                      granularity="block"), scale=scale)
+              for factor in FACTORS]
+    results = executor.run(points)
+    return [(factor, result.total_time,
+             cdp.total_time / result.total_time)
+            for factor, result in zip(FACTORS, results)]
 
 
-def test_coarsening_factor_insensitivity(benchmark, repro_scale, out_dir):
-    rows = benchmark.pedantic(_sweep, args=(repro_scale,),
+def test_coarsening_factor_insensitivity(benchmark, repro_scale, out_dir,
+                                         sweep_executor):
+    rows = benchmark.pedantic(_sweep, args=(repro_scale, sweep_executor),
                               rounds=1, iterations=1)
     lines = ["Ablation: coarsening factor (MSTF/KRON, T=32, A=block)",
              "%-8s %12s %9s" % ("factor", "sim. cycles", "speedup")]

@@ -2,34 +2,31 @@
 that multi-block granularity fills the gap between block and grid
 granularity; this bench maps that trade-off space explicitly)."""
 
-from repro.benchmarks import get_benchmark
-from repro.harness import TuningParams, run_variant
+from repro.harness import SweepExecutor, SweepPoint, TuningParams
 
 from conftest import save
 
 GROUPS = (1, 2, 4, 8, 16, 32)
 
 
-def _sweep(scale):
-    bench = get_benchmark("BFS")
-    data = bench.build_dataset("KRON", scale)
-    cdp = run_variant(bench, data, "CDP")
-    rows = []
-    for group in GROUPS:
-        params = TuningParams(threshold=32, granularity="multiblock",
-                              group_blocks=group)
-        result = run_variant(bench, data, "CDP+T+A", params)
-        rows.append((group, result.total_time,
-                     cdp.total_time / result.total_time))
-    grid = run_variant(bench, data, "CDP+T+A",
-                       TuningParams(threshold=32, granularity="grid"))
-    rows.append(("grid", grid.total_time,
-                 cdp.total_time / grid.total_time))
-    return rows
+def _sweep(scale, executor):
+    executor = executor or SweepExecutor()
+    cdp, = executor.run([SweepPoint("BFS", "KRON", "CDP", scale=scale)])
+    points = [SweepPoint("BFS", "KRON", "CDP+T+A",
+                         TuningParams(threshold=32, granularity="multiblock",
+                                      group_blocks=group), scale=scale)
+              for group in GROUPS]
+    points.append(SweepPoint("BFS", "KRON", "CDP+T+A",
+                             TuningParams(threshold=32, granularity="grid"),
+                             scale=scale))
+    results = executor.run(points)
+    return [(label, result.total_time, cdp.total_time / result.total_time)
+            for label, result in zip(list(GROUPS) + ["grid"], results)]
 
 
-def test_group_size_tradeoff(benchmark, repro_scale, out_dir):
-    rows = benchmark.pedantic(_sweep, args=(repro_scale,),
+def test_group_size_tradeoff(benchmark, repro_scale, out_dir,
+                             sweep_executor):
+    rows = benchmark.pedantic(_sweep, args=(repro_scale, sweep_executor),
                               rounds=1, iterations=1)
     lines = ["Ablation: multi-block group size (BFS/KRON, T=32)",
              "%-8s %12s %9s" % ("group", "sim. cycles", "speedup")]

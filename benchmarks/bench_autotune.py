@@ -10,21 +10,24 @@ PAIRS = (("BFS", "KRON"), ("SSSP", "KRON"), ("MSTF", "CNR"),
          ("SP", "RAND-3"))
 
 
-def _study(scale):
+def _study(scale, executor):
     rows = []
     for bench_name, dataset in PAIRS:
         bench = get_benchmark(bench_name)
         data = bench.build_dataset(dataset, scale)
-        quick = quick_tune(bench, data, "CDP+T+C+A")
-        full = tune(bench, data, "CDP+T+C+A", strategy="guided")
+        quick = quick_tune(bench, data, "CDP+T+C+A",
+                           executor=executor, scale=scale)
+        full = tune(bench, data, "CDP+T+C+A", strategy="guided",
+                    executor=executor, scale=scale)
         rows.append((bench_name, dataset, quick.runs,
                      len(full.evaluated),
                      full.best_time / quick.best_time))
     return rows
 
 
-def test_quick_tune_close_to_search(benchmark, repro_scale, out_dir):
-    rows = benchmark.pedantic(_study, args=(repro_scale,),
+def test_quick_tune_close_to_search(benchmark, repro_scale, out_dir,
+                                    sweep_executor):
+    rows = benchmark.pedantic(_study, args=(repro_scale, sweep_executor),
                               rounds=1, iterations=1)
     lines = ["Sec. VIII-C: quick tuning recipe vs guided search",
              "%-6s %-10s %10s %12s %18s" % (

@@ -9,9 +9,10 @@ PAIRS = (("BFS", "KRON"), ("BFS", "CNR"), ("SSSP", "KRON"),
          ("MSTF", "KRON"), ("SP", "RAND-3"), ("BT", "T0032-C16"))
 
 
-def test_figure10(benchmark, repro_scale, out_dir):
+def test_figure10(benchmark, repro_scale, out_dir, sweep_executor):
     fig = benchmark.pedantic(
-        figure10, kwargs={"scale": repro_scale, "pairs": PAIRS},
+        figure10, kwargs={"scale": repro_scale, "pairs": PAIRS,
+                          "executor": sweep_executor},
         rounds=1, iterations=1)
     text = fig.format()
     save(out_dir, "figure10.txt", text)

@@ -22,10 +22,11 @@ PANELS = (
 
 @pytest.mark.parametrize("bench_name,dataset,cfactor", PANELS)
 def test_figure11_panel(benchmark, repro_scale, out_dir, bench_name,
-                        dataset, cfactor):
+                        dataset, cfactor, sweep_executor):
     fig = benchmark.pedantic(
         figure11, args=(bench_name, dataset),
-        kwargs={"scale": repro_scale, "coarsen_factor": cfactor},
+        kwargs={"scale": repro_scale, "coarsen_factor": cfactor,
+                "executor": sweep_executor},
         rounds=1, iterations=1)
     text = fig.format()
     save(out_dir, "figure11_%s_%s.txt" % (bench_name, dataset), text)

@@ -6,9 +6,11 @@ from repro.harness import figure12
 from conftest import save
 
 
-def test_figure12(benchmark, repro_scale, out_dir):
-    fig = benchmark.pedantic(figure12, kwargs={"scale": repro_scale},
-                             rounds=1, iterations=1)
+def test_figure12(benchmark, repro_scale, out_dir, sweep_executor):
+    fig = benchmark.pedantic(
+        figure12,
+        kwargs={"scale": repro_scale, "executor": sweep_executor},
+        rounds=1, iterations=1)
     text = fig.format()
     save(out_dir, "figure12.txt", text)
     print()

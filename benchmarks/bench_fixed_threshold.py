@@ -10,10 +10,11 @@ PAIRS = (("BFS", "KRON"), ("BFS", "CNR"), ("SSSP", "KRON"),
          ("BT", "T0032-C16"))
 
 
-def test_fixed_threshold(benchmark, repro_scale, out_dir):
+def test_fixed_threshold(benchmark, repro_scale, out_dir, sweep_executor):
     result = benchmark.pedantic(
         fixed_threshold_study,
-        kwargs={"scale": repro_scale, "pairs": PAIRS},
+        kwargs={"scale": repro_scale, "pairs": PAIRS,
+                "executor": sweep_executor},
         rounds=1, iterations=1)
     text = result.format()
     save(out_dir, "fixed_threshold.txt", text)

@@ -18,11 +18,40 @@ def pytest_addoption(parser):
                      default=0.35,
                      help="dataset scale for figure regeneration benches "
                           "(EXPERIMENTS.md records runs at this default)")
+    parser.addoption("--repro-jobs", action="store", type=int, default=1,
+                     help="worker processes for the sweep engine "
+                          "(1 = in-process serial)")
+    parser.addoption("--repro-cache", action="store", default=None,
+                     help="persistent sweep result-cache directory; unset "
+                          "disables caching")
 
 
 @pytest.fixture(scope="session")
 def repro_scale(request):
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def sweep_executor(request):
+    """The shared sweep engine the benches route their run grids through.
+
+    ``--repro-jobs N`` parallelizes, ``--repro-cache DIR`` makes re-runs
+    skip already-simulated points. With neither flag this is None: the
+    figure benches then take the historical serial path, which also
+    cross-checks every simulated point's outputs against the No-CDP
+    reference (executor workers return timings only).
+    """
+    from repro.harness import ResultCache, SweepExecutor
+
+    cache_dir = request.config.getoption("--repro-cache")
+    jobs = request.config.getoption("--repro-jobs")
+    if jobs <= 1 and not cache_dir:
+        yield None
+        return
+    executor = SweepExecutor(
+        jobs=jobs, cache=ResultCache(cache_dir) if cache_dir else None)
+    yield executor
+    executor.close()
 
 
 @pytest.fixture(scope="session")

@@ -11,16 +11,20 @@ Usage::
     python -m repro analyze kernel.cu
     python -m repro bench BFS KRON --variant CDP+T+C+A --threshold 32
     python -m repro figure fig9 --scale 0.25
+    python -m repro sweep --pairs BFS:KRON SSSP:KRON --variants CDP CDP+T \\
+        --threshold 32 --jobs 4 --cache-dir .repro-cache
 """
 
 import argparse
 import json
 import sys
+import time
 
 from .analysis import analyze_program, find_launch_sites, find_thread_count
-from .benchmarks import get_benchmark
-from .harness import (TuningParams, figure9, figure10, figure11, figure12,
-                      fixed_threshold_study, run_variant, table1)
+from .benchmarks import FIG9_PAIRS, FIG12_BENCHMARKS, get_benchmark
+from .harness import (VARIANT_LABELS, ResultCache, SweepExecutor,
+                      TuningParams, figure9, figure10, figure11, figure12,
+                      fixed_threshold_study, run_variant, sweep_grid, table1)
 from .minicuda import parse
 from .minicuda.printer import print_expr
 from .transforms import GRANULARITIES, OptConfig, transform
@@ -124,20 +128,47 @@ def cmd_bench(args):
 
 
 _FIGURES = {
-    "table1": lambda args: table1(args.scale),
-    "fig9": lambda args: figure9(scale=args.scale, strategy=args.strategy),
-    "fig10": lambda args: figure10(scale=args.scale, strategy=args.strategy),
-    "fig11": lambda args: figure11(args.benchmark or "BFS",
-                                   args.dataset or "KRON",
-                                   scale=args.scale),
-    "fig12": lambda args: figure12(scale=args.scale, strategy=args.strategy),
-    "fixed-threshold": lambda args: fixed_threshold_study(
-        scale=args.scale, strategy=args.strategy),
+    "table1": lambda args, executor: table1(args.scale),
+    "fig9": lambda args, executor: figure9(
+        scale=args.scale, strategy=args.strategy, executor=executor),
+    "fig10": lambda args, executor: figure10(
+        scale=args.scale, strategy=args.strategy, executor=executor),
+    "fig11": lambda args, executor: figure11(
+        args.benchmark or "BFS", args.dataset or "KRON",
+        scale=args.scale, executor=executor),
+    "fig12": lambda args, executor: figure12(
+        scale=args.scale, strategy=args.strategy, executor=executor),
+    "fixed-threshold": lambda args, executor: fixed_threshold_study(
+        scale=args.scale, strategy=args.strategy, executor=executor),
 }
 
 
+def _add_sweep_flags(parser, default_cache=None):
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep engine")
+    parser.add_argument("--cache-dir", default=default_cache,
+                        help="persistent result-cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+
+
+def _executor_from(args, force=False):
+    """Build a SweepExecutor from --jobs/--cache-dir/--no-cache, or None
+    when the flags ask for plain serial, uncached execution."""
+    cache_dir = None if args.no_cache else args.cache_dir
+    if not force and args.jobs <= 1 and cache_dir is None:
+        return None
+    return SweepExecutor(jobs=args.jobs,
+                         cache=ResultCache(cache_dir) if cache_dir else None)
+
+
 def cmd_figure(args):
-    result = _FIGURES[args.name](args)
+    executor = _executor_from(args)
+    try:
+        result = _FIGURES[args.name](args, executor)
+    finally:
+        if executor is not None:
+            executor.close()
     text = result.format()
     if args.output:
         with open(args.output, "w") as handle:
@@ -145,6 +176,75 @@ def cmd_figure(args):
         print("wrote %s" % args.output)
     else:
         print(text)
+    return 0
+
+
+_SWEEP_GRIDS = {
+    "fig9": FIG9_PAIRS,
+    "fig12": tuple((name, "ROAD-NY") for name in FIG12_BENCHMARKS),
+}
+
+
+def cmd_sweep(args):
+    if args.pairs:
+        pairs = []
+        for item in args.pairs:
+            bench_name, _, dataset_name = item.partition(":")
+            if not dataset_name:
+                print("bad --pairs entry %r (want BENCH:DATASET)" % item,
+                      file=sys.stderr)
+                return 2
+            pairs.append((bench_name, dataset_name))
+    else:
+        pairs = _SWEEP_GRIDS[args.grid]
+    for bench_name, dataset_name in pairs:
+        try:
+            bench = get_benchmark(bench_name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if dataset_name not in bench.dataset_names:
+            print("unknown dataset %r for %s (have %s)"
+                  % (dataset_name, bench.name,
+                     ", ".join(bench.dataset_names)), file=sys.stderr)
+            return 2
+    for label in args.variants:
+        if label not in VARIANT_LABELS:
+            print("unknown variant %r (have %s)"
+                  % (label, ", ".join(VARIANT_LABELS)), file=sys.stderr)
+            return 2
+    params = TuningParams(threshold=args.threshold,
+                          coarsen_factor=args.coarsen,
+                          granularity=args.aggregate,
+                          group_blocks=args.group_blocks)
+    points = sweep_grid(pairs, args.variants, scale=args.scale, params=params)
+    started = time.time()
+    with _executor_from(args, force=True) as executor:
+        results = executor.run(points)
+    elapsed = time.time() - started
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        headers = ("Benchmark", "Dataset", "Variant", "Params", "Cycles",
+                   "Launches")
+        widths = [len(h) for h in headers]
+        rows = []
+        for result in results:
+            row = (result.benchmark, result.dataset, result.label,
+                   result.params.describe(), str(result.total_time),
+                   str(result.device_launches))
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+            rows.append(row)
+        print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        print("  ".join("-" * w for w in widths))
+        for row in rows:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    stats = executor.stats
+    print("%d points: %d cached, %d simulated (jobs=%d, %.2fs)%s"
+          % (stats.points, stats.hits, stats.simulated, executor.jobs,
+             elapsed,
+             "" if executor.cache is None else ", cache: %s" % args.cache_dir),
+          file=sys.stderr)
     return 0
 
 
@@ -188,7 +288,27 @@ def build_parser():
     p_figure.add_argument("--dataset", default=None,
                           help="fig11 panel dataset")
     p_figure.add_argument("-o", "--output", default=None)
+    _add_sweep_flags(p_figure)
     p_figure.set_defaults(func=cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a (pairs x variants) grid through the parallel "
+                      "sweep engine with a persistent result cache")
+    p_sweep.add_argument("--grid", choices=sorted(_SWEEP_GRIDS),
+                         default="fig9",
+                         help="preset benchmark/dataset grid "
+                              "(ignored when --pairs is given)")
+    p_sweep.add_argument("--pairs", nargs="+", default=None,
+                         metavar="BENCH:DATASET",
+                         help="explicit pairs, e.g. BFS:KRON SSSP:CNR")
+    p_sweep.add_argument("--variants", nargs="+", default=["CDP"],
+                         help="variant labels, e.g. CDP CDP+T+C+A")
+    p_sweep.add_argument("--scale", type=float, default=0.25)
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit results as JSON instead of a table")
+    _add_opt_flags(p_sweep)
+    _add_sweep_flags(p_sweep, default_cache=".repro-cache")
+    p_sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -1,12 +1,15 @@
-"""Experiment harness: variants, runner, tuning, and figure regeneration."""
+"""Experiment harness: variants, runner, tuning, sweeps, and figures."""
 
 from .autotune import (QuickTuneResult, hill_climb, predict_threshold,
                        quick_tune)
+from .cache import CACHE_VERSION, ResultCache, point_key
 from .figures import (BreakdownFigure, FixedThresholdResult, SpeedupFigure,
                       SweepFigure, Table1Result, figure9, figure10, figure11,
                       figure12, fixed_threshold_study, table1)
 from .runner import (RunResult, child_launch_sizes, geomean, outputs_match,
                      run_variant)
+from .sweep import (SweepExecutor, SweepPoint, SweepStats, run_sweep,
+                    sweep_grid)
 from .tuning import (FULL_THRESHOLDS, TuneOutcome, threshold_candidates,
                      tune)
 from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
@@ -14,6 +17,8 @@ from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
 
 __all__ = [
     "QuickTuneResult", "hill_climb", "predict_threshold", "quick_tune",
+    "CACHE_VERSION", "ResultCache", "point_key",
+    "SweepExecutor", "SweepPoint", "SweepStats", "run_sweep", "sweep_grid",
     "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
     "Table1Result", "figure9", "figure10", "figure11", "figure12",
     "fixed_threshold_study", "table1",

@@ -58,12 +58,14 @@ class QuickTuneResult:
 
 
 def quick_tune(bench, data, label="CDP+T+C+A", device_config=None,
-               keep_fraction=0.25):
+               keep_fraction=0.25, executor=None, scale=None):
     """The paper's under-ten-runs recipe.
 
     Fixes the coarsening factor at 8 (observation 2), predicts the threshold
     from the launch-size distribution (observation 1), and tries the
     non-warp granularities (observation 3) around the predicted threshold.
+    With an *executor* and dataset *scale* the candidate grid runs through
+    the sweep engine (parallel, cacheable) instead of serially.
     """
     threshold = predict_threshold(bench, data, keep_fraction) \
         if uses(label, "T") else None
@@ -74,39 +76,57 @@ def quick_tune(bench, data, label="CDP+T+C+A", device_config=None,
     if threshold is not None and threshold > 1:
         thresholds.append(max(1, threshold // 4))
 
+    grid = [TuningParams(thr, cfactor, gran, group_blocks=8)
+            for gran in granularities for thr in thresholds]
+    times = _evaluate_grid(bench, data, label, grid, device_config,
+                           executor, scale)
     best = None
     best_time = None
     evaluated = []
-    for gran in granularities:
-        for thr in thresholds:
-            params = TuningParams(thr, cfactor, gran, group_blocks=8)
-            result = run_variant(bench, data, label, params, device_config)
-            evaluated.append((params, result.total_time))
-            if best_time is None or result.total_time < best_time:
-                best, best_time = params, result.total_time
+    for params, total_time in zip(grid, times):
+        evaluated.append((params, total_time))
+        if best_time is None or total_time < best_time:
+            best, best_time = params, total_time
     return QuickTuneResult(best, best_time, len(evaluated), evaluated)
 
 
+def _evaluate_grid(bench, data, label, grid, device_config, executor, scale):
+    """Total times for *grid*, via the sweep engine when one is supplied."""
+    if executor is not None and scale is not None:
+        from .sweep import SweepPoint
+        from ..sim.config import DeviceConfig
+        device_config = device_config or DeviceConfig()
+        dataset_name = getattr(data, "name", "?")
+        points = [SweepPoint(bench.name, dataset_name, label, params,
+                             device_config, scale) for params in grid]
+        return [result.total_time for result in executor.run(points)]
+    return [run_variant(bench, data, label, params, device_config).total_time
+            for params in grid]
+
+
 def hill_climb(bench, data, label="CDP+T+C+A", start=None, budget=24,
-               device_config=None):
+               device_config=None, executor=None, scale=None):
     """Coordinate-descent refinement from a starting point.
 
     Moves one parameter at a time to its neighboring value (threshold and
     coarsening factor by powers of two; granularity across the non-warp
     options) and keeps improvements, until the run budget is exhausted or a
-    local optimum is reached.
+    local optimum is reached. An *executor* (with *scale*) makes each
+    evaluation cacheable across invocations; the search itself stays
+    sequential because each step depends on the previous one.
     """
     if start is None:
-        start = quick_tune(bench, data, label,
-                           device_config=device_config).best
+        start = quick_tune(bench, data, label, device_config=device_config,
+                           executor=executor, scale=scale).best
     seen = {}
 
     def evaluate(params):
         if params in seen:
             return seen[params]
-        result = run_variant(bench, data, label, params, device_config)
-        seen[params] = result.total_time
-        return result.total_time
+        total_time, = _evaluate_grid(bench, data, label, [params],
+                                     device_config, executor, scale)
+        seen[params] = total_time
+        return total_time
 
     current = start
     current_time = evaluate(current)

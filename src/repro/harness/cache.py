@@ -1,0 +1,98 @@
+"""Persistent, content-addressed cache of sweep results.
+
+Every figure/autotune invocation re-simulates the same dense
+(benchmark × dataset × variant × params) grids from scratch; this cache
+makes repeated runs cheap. Layout: one JSON file per point,
+
+    <cache_dir>/<key>.json
+
+where ``key`` is the SHA-256 of the canonical point spec (benchmark,
+dataset, scale, variant label, tuning params, device config) plus the code
+version (``repro.__version__`` and :data:`CACHE_VERSION`). Any change to a
+tuning parameter, the device model, or the code version therefore lands on
+a different key — stale entries are never returned, only orphaned.
+
+Entries store :class:`~repro.harness.runner.RunResult` fields except the
+raw ``outputs`` arrays (results carrying outputs are simply not cached).
+Corrupted or truncated entries are dropped and treated as misses, so a
+killed run can never poison later ones.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from .. import __version__
+from .runner import RunResult
+
+#: Bump when the cached representation or the simulator semantics change.
+CACHE_VERSION = 1
+
+
+def point_key(point):
+    """Stable content hash for one sweep point (hex SHA-256)."""
+    spec = {"cache_version": CACHE_VERSION, "code_version": __version__}
+    spec.update(point.spec())
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk result cache; safe to share across processes and runs."""
+
+    def __init__(self, cache_dir):
+        self.cache_dir = str(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.cache_dir, key + ".json")
+
+    def get(self, point):
+        """Cached RunResult for *point*, or None on miss/corruption."""
+        path = self._path(point_key(point))
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            result = RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted/truncated entry: drop it so the point re-simulates.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, point, result):
+        """Store *result* for *point* (atomic; ignores results that carry
+        raw output arrays)."""
+        if result.outputs is not None:
+            return False
+        payload = {"spec": point.spec(), "result": result.to_dict()}
+        path = self._path(point_key(point))
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        return True
+
+    def __len__(self):
+        return sum(1 for name in os.listdir(self.cache_dir)
+                   if name.endswith(".json"))
+
+    def clear(self):
+        for name in os.listdir(self.cache_dir):
+            if name.endswith(".json"):
+                os.remove(os.path.join(self.cache_dir, name))

@@ -31,6 +31,20 @@ def _format_table(headers, rows, title=""):
     return "\n".join(lines)
 
 
+def _run_point(bench, data, label, params, device_config, executor, scale,
+               check_against=None):
+    """One measurement — through the sweep engine when an executor is given
+    (parallelizable, cacheable; skips the per-point output check, which the
+    serial path still performs)."""
+    if executor is not None and scale is not None:
+        from .sweep import SweepPoint
+        return executor.run_one(SweepPoint(
+            bench.name, getattr(data, "name", "?"), label,
+            params or TuningParams(), device_config or DeviceConfig(), scale))
+    return run_variant(bench, data, label, params, device_config,
+                       check_against=check_against)
+
+
 # -- Table I -----------------------------------------------------------------
 
 @dataclass
@@ -104,7 +118,8 @@ class SpeedupFigure:
 
 
 def _speedup_figure(title, pairs, scale, strategy, device_config, labels,
-                    dataset_override=None, uncapped_threshold=False):
+                    dataset_override=None, uncapped_threshold=False,
+                    executor=None):
     device_config = device_config or DeviceConfig()
     speedups = {}
     best_params = {}
@@ -123,7 +138,8 @@ def _speedup_figure(title, pairs, scale, strategy, device_config, labels,
                 continue
             outcome = tune(bench, data, label, strategy, device_config,
                            check_against=reference.outputs,
-                           uncapped=uncapped_threshold)
+                           uncapped=uncapped_threshold,
+                           executor=executor, scale=scale)
             row[label] = cdp.total_time / max(outcome.best_time, 1)
             best_params[(bench_name, dataset_name, label)] = outcome.best
         speedups[(bench_name, dataset_name)] = row
@@ -131,10 +147,14 @@ def _speedup_figure(title, pairs, scale, strategy, device_config, labels,
 
 
 def figure9(scale=0.25, strategy="guided", device_config=None,
-            pairs=FIG9_PAIRS):
-    """Fig. 9: all optimization combinations on all benchmark/dataset pairs."""
+            pairs=FIG9_PAIRS, executor=None):
+    """Fig. 9: all optimization combinations on all benchmark/dataset pairs.
+
+    An *executor* (:class:`~repro.harness.sweep.SweepExecutor`) runs every
+    tuning grid through the parallel/cached sweep engine.
+    """
     return _speedup_figure("Figure 9", pairs, scale, strategy, device_config,
-                           VARIANT_LABELS)
+                           VARIANT_LABELS, executor=executor)
 
 
 # -- Figure 10 -----------------------------------------------------------------
@@ -165,7 +185,7 @@ class BreakdownFigure:
 
 
 def figure10(scale=0.25, strategy="guided", device_config=None,
-             pairs=FIG9_PAIRS):
+             pairs=FIG9_PAIRS, executor=None):
     """Fig. 10: execution-time breakdown of KLAP vs +T vs +T+C."""
     device_config = device_config or DeviceConfig()
     rows = {}
@@ -175,9 +195,10 @@ def figure10(scale=0.25, strategy="guided", device_config=None,
         by_label = {}
         klap_total = None
         for label in BreakdownFigure.LABELS:
-            outcome = tune(bench, data, label, strategy, device_config)
-            result = run_variant(bench, data, label, outcome.best,
-                                 device_config)
+            outcome = tune(bench, data, label, strategy, device_config,
+                           executor=executor, scale=scale)
+            result = _run_point(bench, data, label, outcome.best,
+                                device_config, executor, scale)
             total = sum(result.breakdown.values())
             if klap_total is None:
                 klap_total = max(total, 1)
@@ -215,11 +236,13 @@ class SweepFigure:
 
 
 def figure11(bench_name, dataset_name, scale=0.25, coarsen_factor=8,
-             device_config=None, group_blocks=8):
+             device_config=None, group_blocks=8, executor=None):
     """Fig. 11: speedup vs threshold for each aggregation granularity.
 
     The coarsening factor is held at a fixed (good) value like the paper.
     Granularity 'none' is thresholding+coarsening without aggregation.
+    The (granularity × threshold) grid is a static sweep; with an
+    *executor* it fans out through the sweep engine in one batch.
     """
     device_config = device_config or DeviceConfig()
     bench = get_benchmark(bench_name)
@@ -228,9 +251,8 @@ def figure11(bench_name, dataset_name, scale=0.25, coarsen_factor=8,
                             device_config=device_config, keep_outputs=True)
     cdp = run_variant(bench, data, "CDP", device_config=device_config)
     thresholds = [None] + threshold_candidates(bench, data)
-    series = {}
+    cells = []
     for granularity in ("grid", "multiblock", "block", "warp", "none"):
-        points = {}
         for threshold in thresholds:
             label = _sweep_label(threshold, granularity)
             if label is None:
@@ -240,10 +262,28 @@ def figure11(bench_name, dataset_name, scale=0.25, coarsen_factor=8,
                 coarsen_factor=coarsen_factor,
                 granularity=None if granularity == "none" else granularity,
                 group_blocks=group_blocks)
-            result = run_variant(bench, data, label, params, device_config,
-                                 check_against=reference.outputs)
-            points[threshold] = cdp.total_time / max(result.total_time, 1)
-        series[granularity] = points
+            cells.append((granularity, threshold, label, params))
+    if executor is not None:
+        from .sweep import SweepPoint
+        results = executor.run(
+            [SweepPoint(bench_name, dataset_name, label, params,
+                        device_config, scale)
+             for _, _, label, params in cells])
+        # Workers return timings only, so re-verify the fastest point
+        # against the reference outputs (the serial path checks them all).
+        best_index = min(range(len(results)),
+                         key=lambda i: results[i].total_time)
+        _, _, best_label, best_params = cells[best_index]
+        run_variant(bench, data, best_label, best_params, device_config,
+                    check_against=reference.outputs)
+    else:
+        results = [run_variant(bench, data, label, params, device_config,
+                               check_against=reference.outputs)
+                   for _, _, label, params in cells]
+    series = {}
+    for (granularity, threshold, _, _), result in zip(cells, results):
+        points = series.setdefault(granularity, {})
+        points[threshold] = cdp.total_time / max(result.total_time, 1)
     return SweepFigure("Figure 11", bench_name, dataset_name, coarsen_factor,
                        thresholds, series)
 
@@ -262,7 +302,8 @@ def _sweep_label(threshold, granularity):
 
 # -- Figure 12 -----------------------------------------------------------------
 
-def figure12(scale=0.25, strategy="guided", device_config=None):
+def figure12(scale=0.25, strategy="guided", device_config=None,
+             executor=None):
     """Fig. 12: graph benchmarks on a road graph (low nested parallelism).
 
     Per Sec. VIII-D the threshold is tuned *beyond* the largest launch size
@@ -271,7 +312,7 @@ def figure12(scale=0.25, strategy="guided", device_config=None):
     pairs = [(name, "ROAD-NY") for name in FIG12_BENCHMARKS]
     return _speedup_figure("Figure 12", pairs, scale, strategy,
                            device_config, VARIANT_LABELS,
-                           uncapped_threshold=True)
+                           uncapped_threshold=True, executor=executor)
 
 
 # -- Sec. VIII-C fixed-threshold study ---------------------------------------
@@ -294,22 +335,24 @@ class FixedThresholdResult:
 
 
 def fixed_threshold_study(scale=0.25, strategy="guided", device_config=None,
-                          pairs=FIG9_PAIRS, fixed=128):
+                          pairs=FIG9_PAIRS, fixed=128, executor=None):
     """Sec. VIII-C: a fixed threshold of 128 still yields most of the gain."""
     device_config = device_config or DeviceConfig()
     per_pair = {}
     for bench_name, dataset_name in pairs:
         bench = get_benchmark(bench_name)
         data = bench.build_dataset(dataset_name, scale)
-        base = tune(bench, data, "CDP+C+A", strategy, device_config)
-        tuned = tune(bench, data, "CDP+T+C+A", strategy, device_config)
+        base = tune(bench, data, "CDP+C+A", strategy, device_config,
+                    executor=executor, scale=scale)
+        tuned = tune(bench, data, "CDP+T+C+A", strategy, device_config,
+                     executor=executor, scale=scale)
         fixed_params = TuningParams(
             threshold=fixed,
             coarsen_factor=tuned.best.coarsen_factor,
             granularity=tuned.best.granularity,
             group_blocks=tuned.best.group_blocks)
-        fixed_run = run_variant(bench, data, "CDP+T+C+A", fixed_params,
-                                device_config)
+        fixed_run = _run_point(bench, data, "CDP+T+C+A", fixed_params,
+                               device_config, executor, scale)
         per_pair[(bench_name, dataset_name)] = (
             base.best_time / max(tuned.best_time, 1),
             base.best_time / max(fixed_run.total_time, 1))

@@ -29,16 +29,59 @@ class RunResult:
     def speedup_over(self, other):
         return other.total_time / max(self.total_time, 1)
 
+    def to_dict(self):
+        """JSON-able representation (drops raw outputs; see harness.cache)."""
+        return {
+            "benchmark": self.benchmark,
+            "dataset": self.dataset,
+            "label": self.label,
+            "params": {
+                "threshold": self.params.threshold,
+                "coarsen_factor": self.params.coarsen_factor,
+                "granularity": self.params.granularity,
+                "group_blocks": self.params.group_blocks,
+            },
+            "total_time": int(self.total_time),
+            "breakdown": {k: int(v) for k, v in self.breakdown.items()},
+            "device_launches": int(self.device_launches),
+            "host_agg_launches": int(self.host_agg_launches),
+            "launch_queue_wait": int(self.launch_queue_wait),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            benchmark=payload["benchmark"],
+            dataset=payload["dataset"],
+            label=payload["label"],
+            params=TuningParams(**payload["params"]),
+            total_time=payload["total_time"],
+            breakdown=dict(payload["breakdown"]),
+            device_launches=payload["device_launches"],
+            host_agg_launches=payload["host_agg_launches"],
+            launch_queue_wait=payload["launch_queue_wait"],
+            outputs=None,
+        )
+
 
 def outputs_match(a, b, rtol=1e-9):
-    """Cross-variant correctness check on driver outputs."""
+    """Cross-variant correctness check on driver outputs.
+
+    NaNs count as equal when they appear in the same positions; if either
+    side is floating-point the comparison is tolerance-based regardless of
+    the other side's dtype kind.
+    """
     if a.keys() != b.keys():
         return False
     for key in a:
-        if a[key].dtype.kind == "f":
-            if not np.allclose(a[key], b[key], rtol=rtol, atol=1e-12):
+        lhs, rhs = a[key], b[key]
+        if lhs.shape != rhs.shape:
+            return False
+        if lhs.dtype.kind == "f" or rhs.dtype.kind == "f":
+            if not np.allclose(lhs, rhs, rtol=rtol, atol=1e-12,
+                               equal_nan=True):
                 return False
-        elif not np.array_equal(a[key], b[key]):
+        elif not np.array_equal(lhs, rhs):
             return False
     return True
 

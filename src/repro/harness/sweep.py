@@ -1,0 +1,207 @@
+"""Parallel sweep engine for the evaluation's dense run grids.
+
+Figures 9-12, Table 1, and the autotuner are all sweeps over
+(benchmark × dataset × variant × tuning params). This module executes such
+a grid as a declarative list of :class:`SweepPoint`\\ s, fanned out over a
+``multiprocessing`` pool with deterministic result ordering, with an
+optional persistent :class:`~repro.harness.cache.ResultCache` so repeated
+runs skip already-simulated points.
+
+Points are specified by *names* (benchmark, dataset, scale) rather than
+live objects so they pickle cheaply; each worker rebuilds the benchmark and
+dataset locally (dataset construction is seeded, hence deterministic) and
+memoizes them across the points it serves. The simulator itself is
+single-threaded and deterministic, so a parallel sweep returns RunResults
+identical to a serial one — the test suite enforces this.
+"""
+
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field
+
+from ..benchmarks import get_benchmark
+from ..sim.config import DeviceConfig
+from .cache import ResultCache
+from .runner import run_variant
+from .variants import TuningParams, uses
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (benchmark, dataset, variant, params, device, scale) cell."""
+
+    benchmark: str
+    dataset: str
+    label: str = "CDP"
+    params: TuningParams = field(default_factory=TuningParams)
+    device_config: DeviceConfig = field(default_factory=DeviceConfig)
+    scale: float = 0.25
+
+    def spec(self):
+        """Canonical JSON-able description (the cache key input)."""
+        return {
+            "benchmark": self.benchmark,
+            "dataset": self.dataset,
+            "label": self.label,
+            "params": asdict(self.params),
+            "device_config": asdict(self.device_config),
+            "scale": repr(float(self.scale)),
+        }
+
+    def describe(self):
+        return "%s/%s %s [%s] @%g" % (self.benchmark, self.dataset,
+                                      self.label, self.params.describe(),
+                                      self.scale)
+
+
+def sweep_grid(pairs, labels, scale=0.25, params=None, params_for=None,
+               device_config=None):
+    """Expand a declarative (pairs × labels) grid into SweepPoints.
+
+    *params_for*, if given, is a ``(bench, dataset, label) -> TuningParams``
+    callable; otherwise every point shares *params*, with the components a
+    label does not use masked to None (so e.g. a plain CDP point keys and
+    displays identically whatever threshold the grid carries).
+    """
+    device_config = device_config or DeviceConfig()
+    params = params or TuningParams()
+    points = []
+    for bench_name, dataset_name in pairs:
+        for label in labels:
+            if params_for is not None:
+                point_params = params_for(bench_name, dataset_name, label)
+            else:
+                granularity = params.granularity if uses(label, "A") else None
+                point_params = TuningParams(
+                    threshold=params.threshold if uses(label, "T") else None,
+                    coarsen_factor=params.coarsen_factor
+                    if uses(label, "C") else None,
+                    granularity=granularity,
+                    group_blocks=params.group_blocks
+                    if granularity == "multiblock" else 8)
+            points.append(SweepPoint(bench_name, dataset_name, label,
+                                     point_params, device_config, scale))
+    return points
+
+
+# -- worker-side execution ----------------------------------------------------
+
+#: Per-process (benchmark, dataset) memo — points of one sweep usually share
+#: a handful of datasets, and construction is deterministic, so reuse is
+#: both safe and a large constant-factor win.
+_DATASET_MEMO = {}
+_DATASET_MEMO_LIMIT = 8
+
+
+def _bench_and_data(benchmark, dataset, scale):
+    key = (benchmark, dataset, scale)
+    entry = _DATASET_MEMO.get(key)
+    if entry is None:
+        bench = get_benchmark(benchmark)
+        entry = (bench, bench.build_dataset(dataset, scale))
+        if len(_DATASET_MEMO) >= _DATASET_MEMO_LIMIT:
+            _DATASET_MEMO.pop(next(iter(_DATASET_MEMO)))
+        _DATASET_MEMO[key] = entry
+    return entry
+
+
+def _simulate_point(point):
+    """Compile + execute + time one point (tests patch this to count/ban
+    simulator invocations)."""
+    bench, data = _bench_and_data(point.benchmark, point.dataset, point.scale)
+    return run_variant(bench, data, point.label, point.params,
+                       point.device_config)
+
+
+def _worker(point):
+    return _simulate_point(point)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+# -- the executor -------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Cumulative counters for one executor."""
+
+    points: int = 0
+    hits: int = 0
+    simulated: int = 0
+
+
+class SweepExecutor:
+    """Runs SweepPoints — optionally in parallel, optionally cached.
+
+    ``run`` resolves cache hits first, dispatches only the misses (to a
+    worker pool when ``jobs > 1``), stores fresh results back, and returns
+    results in the exact order of the input points. A fully-warm run never
+    touches the simulator or spawns a pool.
+
+    The pool is created lazily on the first parallel batch and reused
+    across ``run`` calls, so multi-grid drivers (figures, tuners) keep
+    their workers — and the workers' dataset memos — alive. Call
+    :meth:`close` (or use the executor as a context manager) to release
+    the workers early; otherwise they end with the process.
+    """
+
+    def __init__(self, jobs=1, cache=None):
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ResultCache(cache)
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.stats = SweepStats()
+        self._pool = None
+
+    def run(self, points):
+        points = list(points)
+        self.stats.points += len(points)
+        results = [None] * len(points)
+        misses = []
+        for index, point in enumerate(points):
+            cached = self.cache.get(point) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append(index)
+        self.stats.hits += len(points) - len(misses)
+        if misses:
+            todo = [points[index] for index in misses]
+            if self.jobs > 1 and len(todo) > 1:
+                if self._pool is None:
+                    self._pool = _pool_context().Pool(self.jobs)
+                fresh = self._pool.map(_worker, todo)
+            else:
+                fresh = [_simulate_point(point) for point in todo]
+            self.stats.simulated += len(todo)
+            for index, result in zip(misses, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(points[index], result)
+        return results
+
+    def run_one(self, point):
+        return self.run([point])[0]
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def run_sweep(points, jobs=1, cache_dir=None):
+    """Convenience wrapper: execute *points*, return (results, stats)."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    return executor.run(points), executor.stats

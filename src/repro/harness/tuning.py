@@ -15,6 +15,7 @@ Two strategies are provided:
 
 from dataclasses import dataclass, field
 
+from ..sim.config import DeviceConfig
 from .runner import child_launch_sizes, run_variant
 from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, TuningParams,
                        uses)
@@ -85,30 +86,57 @@ def _spaces(bench, data, label, strategy, klap_mode, uncapped=False):
     return thresholds, cfactors, granularities, groups
 
 
-def tune(bench, data, label, strategy="guided", device_config=None,
-         check_against=None, uncapped=False):
-    """Search the parameter space for one variant; returns a TuneOutcome.
-
-    ``label`` "KLAP (CDP+A)" restricts granularity to prior work's options.
-    ``uncapped`` permits thresholds beyond the largest launch (Fig. 12).
-    """
-    klap_mode = label == "KLAP (CDP+A)"
-    thresholds, cfactors, granularities, groups = _spaces(
-        bench, data, label, strategy, klap_mode, uncapped)
-    best = None
-    best_time = None
-    evaluated = []
+def _param_grid(thresholds, cfactors, granularities, groups):
+    """The full cross product, in the historical evaluation order."""
+    grid = []
     for threshold in thresholds:
         for cfactor in cfactors:
             for granularity in granularities:
                 group_list = groups if granularity == "multiblock" else (8,)
                 for group_blocks in group_list:
-                    params = TuningParams(threshold, cfactor, granularity,
-                                          group_blocks)
-                    result = run_variant(bench, data, label, params,
-                                         device_config,
-                                         check_against=check_against)
-                    evaluated.append((params, result.total_time))
-                    if best_time is None or result.total_time < best_time:
-                        best, best_time = params, result.total_time
+                    grid.append(TuningParams(threshold, cfactor, granularity,
+                                             group_blocks))
+    return grid
+
+
+def tune(bench, data, label, strategy="guided", device_config=None,
+         check_against=None, uncapped=False, executor=None, scale=None):
+    """Search the parameter space for one variant; returns a TuneOutcome.
+
+    ``label`` "KLAP (CDP+A)" restricts granularity to prior work's options.
+    ``uncapped`` permits thresholds beyond the largest launch (Fig. 12).
+
+    With an *executor* (a :class:`~repro.harness.sweep.SweepExecutor`) and
+    the dataset *scale*, the whole grid is fanned out through the sweep
+    engine — parallel and cacheable. In that mode the ``check_against``
+    output check runs once on the best point (workers return timings only)
+    instead of on every point; the serial path is unchanged.
+    """
+    klap_mode = label == "KLAP (CDP+A)"
+    thresholds, cfactors, granularities, groups = _spaces(
+        bench, data, label, strategy, klap_mode, uncapped)
+    grid = _param_grid(thresholds, cfactors, granularities, groups)
+    if executor is not None and scale is not None:
+        from .sweep import SweepPoint
+        device_config = device_config or DeviceConfig()
+        dataset_name = getattr(data, "name", "?")
+        points = [SweepPoint(bench.name, dataset_name, label, params,
+                             device_config, scale) for params in grid]
+        results = executor.run(points)
+        evaluated = [(params, result.total_time)
+                     for params, result in zip(grid, results)]
+    else:
+        evaluated = []
+        for params in grid:
+            result = run_variant(bench, data, label, params, device_config,
+                                 check_against=check_against)
+            evaluated.append((params, result.total_time))
+    best = None
+    best_time = None
+    for params, total_time in evaluated:
+        if best_time is None or total_time < best_time:
+            best, best_time = params, total_time
+    if executor is not None and scale is not None and check_against is not None:
+        run_variant(bench, data, label, best, device_config,
+                    check_against=check_against)
     return TuneOutcome(best, best_time, evaluated)

@@ -78,6 +78,40 @@ class TestFigureCommand:
         assert "Figure 11" in capsys.readouterr().out
 
 
+class TestSweepCommand:
+    ARGS = ["sweep", "--pairs", "BFS:KRON", "--variants", "CDP", "CDP+T",
+            "--threshold", "16", "--scale", "0.08", "--jobs", "2"]
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        cold = capsys.readouterr()
+        assert "CDP+T" in cold.out
+        assert "2 simulated" in cold.err
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        warm = capsys.readouterr()
+        assert "2 cached, 0 simulated" in warm.err
+        assert warm.out == cold.out
+
+    def test_no_cache_json(self, capsys):
+        assert main(self.ARGS + ["--no-cache", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["label"] for row in rows] == ["CDP", "CDP+T"]
+        assert all(row["total_time"] > 0 for row in rows)
+
+    def test_bad_pair_spec(self, capsys):
+        assert main(["sweep", "--pairs", "BFSKRON", "--no-cache"]) == 2
+
+    def test_unknown_benchmark_dataset_variant(self, capsys):
+        assert main(["sweep", "--pairs", "NOPE:KRON", "--no-cache"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+        assert main(["sweep", "--pairs", "BFS:NOPE", "--no-cache"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+        assert main(["sweep", "--pairs", "BFS:KRON", "--variants", "CDPTCA",
+                     "--no-cache"]) == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+
 class TestMetaRoundtrip:
     def test_meta_dict_roundtrip_runs(self):
         """A meta serialized to JSON and back still drives the runtime."""

@@ -1,0 +1,61 @@
+"""Determinism properties the sweep engine and result cache rely on:
+seeded dataset builders, a deterministic simulator, and therefore
+identical results across repeated runs and across pool workers."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.harness import (SweepExecutor, SweepPoint, TuningParams,
+                           outputs_match, run_variant)
+
+SCALE = 0.08
+
+
+@pytest.mark.parametrize("bench_name,dataset", [
+    ("BFS", "KRON"), ("SSSP", "KRON"), ("SP", "RAND-3"), ("BT", "T0032-C16"),
+])
+def test_dataset_rebuild_is_identical(bench_name, dataset):
+    bench = get_benchmark(bench_name)
+    first = bench.build_dataset(dataset, SCALE)
+    second = bench.build_dataset(dataset, SCALE)
+    assert first.name == second.name
+    for attr in ("row", "col", "weights"):
+        if hasattr(first, attr):
+            assert np.array_equal(getattr(first, attr), getattr(second, attr))
+
+
+def test_repeated_runs_identical():
+    bench = get_benchmark("BFS")
+    data = bench.build_dataset("KRON", SCALE)
+    params = TuningParams(threshold=16, coarsen_factor=4, granularity="block")
+    first = run_variant(bench, data, "CDP+T+C+A", params, keep_outputs=True)
+    second = run_variant(bench, data, "CDP+T+C+A", params, keep_outputs=True)
+    assert first.total_time == second.total_time
+    assert first.breakdown == second.breakdown
+    assert first.launch_queue_wait == second.launch_queue_wait
+    assert outputs_match(first.outputs, second.outputs)
+
+
+def test_trace_identical_across_runs():
+    bench = get_benchmark("BFS")
+    data = bench.build_dataset("KRON", SCALE)
+    _, _, dev_a = bench.run(data, "cdp")
+    _, _, dev_b = bench.run(data, "cdp")
+    grids_a, grids_b = dev_a.trace.grids, dev_b.trace.grids
+    assert len(grids_a) == len(grids_b)
+    for ga, gb in zip(grids_a, grids_b):
+        assert (ga.is_dynamic, ga.total_cycles) == \
+            (gb.is_dynamic, gb.total_cycles)
+        assert (ga.grid_dim, ga.block_dim) == (gb.grid_dim, gb.block_dim)
+
+
+def test_identical_across_pool_workers():
+    """The same point executed by different workers (and by the parent
+    process) yields field-identical RunResults."""
+    point = SweepPoint("BFS", "KRON", "CDP+T", TuningParams(threshold=16),
+                       scale=SCALE)
+    serial = SweepExecutor(jobs=1).run([point])[0]
+    spread = SweepExecutor(jobs=4).run([point] * 4 + [
+        SweepPoint("BFS", "KRON", "CDP", scale=SCALE)])
+    assert all(result == serial for result in spread[:4])

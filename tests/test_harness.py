@@ -2,13 +2,14 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.benchmarks import get_benchmark
 from repro.errors import ReproError
 from repro.harness import (TuningParams, VARIANT_LABELS, child_launch_sizes,
-                           geomean, run_variant, threshold_candidates, tune,
-                           uses, variant_to_run)
+                           geomean, outputs_match, run_variant,
+                           threshold_candidates, tune, uses, variant_to_run)
 
 SCALE = 0.1
 
@@ -112,6 +113,50 @@ class TestRunner:
         sizes = child_launch_sizes(bench, data)
         assert sizes
         assert all(s >= 32 for s in sizes)
+
+
+class TestOutputsMatch:
+    def test_equal_int_arrays(self):
+        a = {"x": np.array([1, 2, 3])}
+        assert outputs_match(a, {"x": np.array([1, 2, 3])})
+
+    def test_mismatched_keys(self):
+        a = {"x": np.zeros(3)}
+        assert not outputs_match(a, {"y": np.zeros(3)})
+        assert not outputs_match(a, {"x": np.zeros(3), "y": np.zeros(3)})
+        assert not outputs_match(a, {})
+
+    def test_nan_in_same_positions_matches(self):
+        a = {"x": np.array([1.0, np.nan, 3.0])}
+        b = {"x": np.array([1.0, np.nan, 3.0])}
+        assert outputs_match(a, b)
+
+    def test_nan_against_number_differs(self):
+        a = {"x": np.array([1.0, np.nan, 3.0])}
+        b = {"x": np.array([1.0, 2.0, 3.0])}
+        assert not outputs_match(a, b)
+        assert not outputs_match(b, a)
+
+    def test_int_vs_float_kind_compares_by_value(self):
+        ints = {"x": np.array([1, 2, 3])}
+        floats = {"x": np.array([1.0, 2.0, 3.0])}
+        assert outputs_match(ints, floats)
+        assert outputs_match(floats, ints)
+        assert not outputs_match(ints, {"x": np.array([1.0, 2.5, 3.0])})
+
+    def test_float_tolerance(self):
+        a = {"x": np.array([1.0])}
+        assert outputs_match(a, {"x": np.array([1.0 + 1e-13])})
+        assert not outputs_match(a, {"x": np.array([1.0 + 1e-6])})
+
+    def test_shape_mismatch(self):
+        a = {"x": np.zeros(3)}
+        assert not outputs_match(a, {"x": np.zeros((3, 1))})
+        assert not outputs_match(a, {"x": np.zeros(4)})
+
+    def test_int_arrays_compare_exactly(self):
+        a = {"x": np.array([1, 2, 3])}
+        assert not outputs_match(a, {"x": np.array([1, 2, 4])})
 
 
 class TestTuning:

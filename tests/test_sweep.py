@@ -1,0 +1,206 @@
+"""Sweep engine tests: serial/parallel equivalence, cache behavior,
+corruption recovery, and executor-routed tuning."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.harness import (ResultCache, RunResult, SweepExecutor, SweepPoint,
+                           TuningParams, point_key, quick_tune, run_sweep,
+                           run_variant, sweep_grid, tune)
+from repro.harness import sweep as sweep_mod
+from repro.sim.config import DeviceConfig
+
+SCALE = 0.08
+
+#: A small fig9-style grid: two pairs x three variants.
+PAIRS = (("BFS", "KRON"), ("SSSP", "KRON"))
+LABELS = ("No CDP", "CDP", "CDP+T+C+A")
+PARAMS = TuningParams(threshold=16, coarsen_factor=4, granularity="block")
+
+
+def small_grid():
+    return sweep_grid(PAIRS, LABELS, scale=SCALE, params=PARAMS)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return SweepExecutor(jobs=1).run(small_grid())
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_results_identical(self, serial_results):
+        parallel = SweepExecutor(jobs=3).run(small_grid())
+        assert parallel == serial_results
+
+    def test_matches_direct_run_variant(self, serial_results):
+        point = small_grid()[2]     # BFS/KRON CDP+T+C+A
+        bench = get_benchmark(point.benchmark)
+        data = bench.build_dataset(point.dataset, point.scale)
+        direct = run_variant(bench, data, point.label, point.params,
+                             point.device_config)
+        assert serial_results[2] == direct
+
+    def test_ordering_follows_input(self, serial_results):
+        labels = [(r.benchmark, r.label) for r in serial_results]
+        assert labels == [(b, l) for b, _ in PAIRS for l in LABELS]
+
+    def test_run_sweep_convenience(self, serial_results, tmp_path):
+        results, stats = run_sweep(small_grid(), jobs=2,
+                                   cache_dir=str(tmp_path / "cache"))
+        assert results == serial_results
+        assert stats.simulated == len(serial_results)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, serial_results, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = SweepExecutor(jobs=1, cache=cache_dir)
+        assert cold.run(small_grid()) == serial_results
+        assert (cold.stats.hits, cold.stats.simulated) == (0, 6)
+        warm = SweepExecutor(jobs=1, cache=cache_dir)
+        assert warm.run(small_grid()) == serial_results
+        assert (warm.stats.hits, warm.stats.simulated) == (6, 0)
+
+    def test_warm_run_never_invokes_simulator(self, serial_results, tmp_path,
+                                              monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        SweepExecutor(jobs=1, cache=cache_dir).run(small_grid())
+
+        def banned(point):
+            raise AssertionError("simulator invoked on a warm run: %s"
+                                 % point.describe())
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
+        warm = SweepExecutor(jobs=2, cache=cache_dir)
+        assert warm.run(small_grid()) == serial_results
+        assert warm.stats.simulated == 0
+
+    def test_invalidation_on_param_change(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base = SweepPoint("BFS", "KRON", "CDP+T",
+                          TuningParams(threshold=16), scale=SCALE)
+        SweepExecutor(jobs=1, cache=cache_dir).run([base])
+        changed = SweepPoint("BFS", "KRON", "CDP+T",
+                             TuningParams(threshold=32), scale=SCALE)
+        executor = SweepExecutor(jobs=1, cache=cache_dir)
+        executor.run([changed])
+        assert executor.stats.simulated == 1
+        assert executor.stats.hits == 0
+
+    def test_key_covers_every_spec_axis(self):
+        base = SweepPoint("BFS", "KRON", "CDP+T",
+                          TuningParams(threshold=16), scale=SCALE)
+        variations = (
+            SweepPoint("SSSP", "KRON", "CDP+T",
+                       TuningParams(threshold=16), scale=SCALE),
+            SweepPoint("BFS", "CNR", "CDP+T",
+                       TuningParams(threshold=16), scale=SCALE),
+            SweepPoint("BFS", "KRON", "CDP",
+                       TuningParams(threshold=16), scale=SCALE),
+            SweepPoint("BFS", "KRON", "CDP+T",
+                       TuningParams(threshold=8), scale=SCALE),
+            SweepPoint("BFS", "KRON", "CDP+T",
+                       TuningParams(threshold=16), scale=SCALE / 2),
+            SweepPoint("BFS", "KRON", "CDP+T", TuningParams(threshold=16),
+                       DeviceConfig(num_sms=4), SCALE),
+        )
+        keys = {point_key(p) for p in variations}
+        assert point_key(base) not in keys
+        assert len(keys) == len(variations)
+
+    def test_corrupted_entry_recovers(self, serial_results, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        point = small_grid()[1]
+        SweepExecutor(jobs=1, cache=cache_dir).run([point])
+        path = os.path.join(cache_dir, point_key(point) + ".json")
+        with open(path, "w") as handle:
+            handle.write("{not json at all")
+        executor = SweepExecutor(jobs=1, cache=cache_dir)
+        assert executor.run([point]) == [serial_results[1]]
+        assert executor.stats.simulated == 1
+        # The entry is repaired: a third run is a pure hit.
+        with open(path) as handle:
+            json.load(handle)
+        again = SweepExecutor(jobs=1, cache=cache_dir)
+        again.run([point])
+        assert again.stats.hits == 1
+
+    def test_result_roundtrip_is_exact(self, serial_results):
+        for result in serial_results:
+            assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_results_with_outputs_are_not_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        bench = get_benchmark("BFS")
+        data = bench.build_dataset("KRON", SCALE)
+        result = run_variant(bench, data, "CDP", keep_outputs=True)
+        point = SweepPoint("BFS", "KRON", "CDP", scale=SCALE)
+        assert cache.put(point, result) is False
+        assert len(cache) == 0
+
+
+class TestGridBuilder:
+    def test_masks_unused_params(self):
+        points = small_grid()
+        by_label = {p.label: p.params for p in points[:3]}
+        assert by_label["No CDP"] == TuningParams()
+        assert by_label["CDP"] == TuningParams()
+        assert by_label["CDP+T+C+A"] == PARAMS
+
+    def test_group_blocks_masked_unless_multiblock(self):
+        shared = TuningParams(threshold=16, granularity="block",
+                              group_blocks=16)
+        point, = sweep_grid([("BFS", "KRON")], ("CDP+T+A",), scale=SCALE,
+                            params=shared)
+        assert point.params.group_blocks == 8     # block ignores groups
+        shared_mb = TuningParams(threshold=16, granularity="multiblock",
+                                 group_blocks=16)
+        point_mb, = sweep_grid([("BFS", "KRON")], ("CDP+T+A",), scale=SCALE,
+                               params=shared_mb)
+        assert point_mb.params.group_blocks == 16
+
+    def test_params_for_override(self):
+        points = sweep_grid(PAIRS, ("CDP+T",), scale=SCALE,
+                            params_for=lambda b, d, l:
+                            TuningParams(threshold=64))
+        assert all(p.params.threshold == 64 for p in points)
+
+
+class TestExecutorRoutedTuning:
+    @pytest.fixture(scope="class")
+    def bfs(self):
+        bench = get_benchmark("BFS")
+        return bench, bench.build_dataset("KRON", SCALE)
+
+    def test_tune_matches_serial(self, bfs):
+        bench, data = bfs
+        serial = tune(bench, data, "CDP+T", strategy="guided")
+        swept = tune(bench, data, "CDP+T", strategy="guided",
+                     executor=SweepExecutor(jobs=2), scale=SCALE)
+        assert swept.best == serial.best
+        assert swept.best_time == serial.best_time
+        assert swept.evaluated == serial.evaluated
+
+    def test_tune_uses_cache(self, bfs, tmp_path):
+        bench, data = bfs
+        cache_dir = str(tmp_path / "cache")
+        first = SweepExecutor(jobs=1, cache=cache_dir)
+        tune(bench, data, "CDP+T", strategy="guided",
+             executor=first, scale=SCALE)
+        second = SweepExecutor(jobs=1, cache=cache_dir)
+        tune(bench, data, "CDP+T", strategy="guided",
+             executor=second, scale=SCALE)
+        assert second.stats.simulated == 0
+        assert second.stats.hits == first.stats.simulated
+
+    def test_quick_tune_matches_serial(self, bfs):
+        bench, data = bfs
+        serial = quick_tune(bench, data, "CDP+T+C+A")
+        swept = quick_tune(bench, data, "CDP+T+C+A",
+                           executor=SweepExecutor(jobs=2), scale=SCALE)
+        assert swept.best == serial.best
+        assert swept.best_time == serial.best_time
+        assert swept.evaluated == serial.evaluated
