@@ -21,6 +21,10 @@ def pytest_addoption(parser):
     parser.addoption("--repro-jobs", action="store", type=int, default=1,
                      help="worker processes for the sweep engine "
                           "(1 = in-process serial)")
+    parser.addoption("--repro-backend", action="store", default=None,
+                     help="sweep backend: serial, process, thread, or "
+                          "futures (default: serial for --repro-jobs 1, "
+                          "process otherwise)")
     parser.addoption("--repro-cache", action="store", default=None,
                      help="persistent sweep result-cache directory; unset "
                           "disables caching")
@@ -35,8 +39,10 @@ def repro_scale(request):
 def sweep_executor(request):
     """The shared sweep engine the benches route their run grids through.
 
-    ``--repro-jobs N`` parallelizes, ``--repro-cache DIR`` makes re-runs
-    skip already-simulated points. With neither flag this is None: the
+    ``--repro-jobs N`` parallelizes, ``--repro-backend`` picks the
+    execution backend (serial/process/thread/futures), ``--repro-cache
+    DIR`` makes re-runs skip already-simulated points. With no flag this
+    is None: the
     figure benches then take the historical serial path, which also
     cross-checks every simulated point's outputs against the No-CDP
     reference (executor workers return timings only).
@@ -45,11 +51,13 @@ def sweep_executor(request):
 
     cache_dir = request.config.getoption("--repro-cache")
     jobs = request.config.getoption("--repro-jobs")
-    if jobs <= 1 and not cache_dir:
+    backend = request.config.getoption("--repro-backend")
+    if jobs <= 1 and not cache_dir and backend is None:
         yield None
         return
     executor = SweepExecutor(
-        jobs=jobs, cache=ResultCache(cache_dir) if cache_dir else None)
+        jobs=jobs, backend=backend,
+        cache=ResultCache(cache_dir) if cache_dir else None)
     yield executor
     executor.close()
 

@@ -12,18 +12,22 @@ Usage::
     python -m repro bench BFS KRON --variant CDP+T+C+A --threshold 32
     python -m repro figure fig9 --scale 0.25
     python -m repro sweep --pairs BFS:KRON SSSP:KRON --variants CDP CDP+T \\
-        --threshold 32 --jobs 4 --cache-dir .repro-cache
+        --threshold 32 --jobs 4 --backend process --cache-dir .repro-cache
+    python -m repro cache info --cache-dir .repro-cache
+    python -m repro cache prune --cache-dir .repro-cache --max-bytes 1000000
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from .analysis import analyze_program, find_launch_sites, find_thread_count
 from .benchmarks import FIG9_PAIRS, FIG12_BENCHMARKS, get_benchmark
-from .harness import (VARIANT_LABELS, ResultCache, SweepExecutor,
-                      TuningParams, figure9, figure10, figure11, figure12,
+from .harness import (BACKENDS, VARIANT_LABELS, FigureArtifactCache,
+                      PointFailure, ResultCache, SweepExecutor, TuningParams,
+                      figure9, figure10, figure11, figure12,
                       fixed_threshold_study, run_variant, sweep_grid, table1)
 from .minicuda import parse
 from .minicuda.printer import print_expr
@@ -128,44 +132,57 @@ def cmd_bench(args):
 
 
 _FIGURES = {
-    "table1": lambda args, executor: table1(args.scale),
-    "fig9": lambda args, executor: figure9(
-        scale=args.scale, strategy=args.strategy, executor=executor),
-    "fig10": lambda args, executor: figure10(
-        scale=args.scale, strategy=args.strategy, executor=executor),
-    "fig11": lambda args, executor: figure11(
+    "table1": lambda args, executor, artifacts: table1(
+        args.scale, artifacts=artifacts),
+    "fig9": lambda args, executor, artifacts: figure9(
+        scale=args.scale, strategy=args.strategy, executor=executor,
+        artifacts=artifacts),
+    "fig10": lambda args, executor, artifacts: figure10(
+        scale=args.scale, strategy=args.strategy, executor=executor,
+        artifacts=artifacts),
+    "fig11": lambda args, executor, artifacts: figure11(
         args.benchmark or "BFS", args.dataset or "KRON",
-        scale=args.scale, executor=executor),
-    "fig12": lambda args, executor: figure12(
-        scale=args.scale, strategy=args.strategy, executor=executor),
-    "fixed-threshold": lambda args, executor: fixed_threshold_study(
-        scale=args.scale, strategy=args.strategy, executor=executor),
+        scale=args.scale, executor=executor, artifacts=artifacts),
+    "fig12": lambda args, executor, artifacts: figure12(
+        scale=args.scale, strategy=args.strategy, executor=executor,
+        artifacts=artifacts),
+    "fixed-threshold": lambda args, executor, artifacts:
+        fixed_threshold_study(
+            scale=args.scale, strategy=args.strategy, executor=executor,
+            artifacts=artifacts),
 }
 
 
 def _add_sweep_flags(parser, default_cache=None):
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep engine")
+    parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                        help="sweep execution backend (default: serial for "
+                             "--jobs 1, process otherwise)")
     parser.add_argument("--cache-dir", default=default_cache,
                         help="persistent result-cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
 
 
-def _executor_from(args, force=False):
-    """Build a SweepExecutor from --jobs/--cache-dir/--no-cache, or None
-    when the flags ask for plain serial, uncached execution."""
+def _executor_from(args, force=False, on_error="raise"):
+    """Build a SweepExecutor from --jobs/--backend/--cache-dir/--no-cache,
+    or None when the flags ask for plain serial, uncached execution."""
     cache_dir = None if args.no_cache else args.cache_dir
-    if not force and args.jobs <= 1 and cache_dir is None:
+    if (not force and args.jobs <= 1 and cache_dir is None
+            and args.backend is None):
         return None
-    return SweepExecutor(jobs=args.jobs,
-                         cache=ResultCache(cache_dir) if cache_dir else None)
+    return SweepExecutor(jobs=args.jobs, backend=args.backend,
+                         cache=ResultCache(cache_dir) if cache_dir else None,
+                         on_error=on_error)
 
 
 def cmd_figure(args):
     executor = _executor_from(args)
+    cache_dir = None if args.no_cache else args.cache_dir
+    artifacts = FigureArtifactCache(cache_dir) if cache_dir else None
     try:
-        result = _FIGURES[args.name](args, executor)
+        result = _FIGURES[args.name](args, executor, artifacts)
     finally:
         if executor is not None:
             executor.close()
@@ -219,20 +236,32 @@ def cmd_sweep(args):
                           group_blocks=args.group_blocks)
     points = sweep_grid(pairs, args.variants, scale=args.scale, params=params)
     started = time.time()
-    with _executor_from(args, force=True) as executor:
+    on_error = "continue" if args.keep_going else "raise"
+    with _executor_from(args, force=True, on_error=on_error) as executor:
         results = executor.run(points)
     elapsed = time.time() - started
+    failures = [r for r in results if isinstance(r, PointFailure)]
     if args.json:
-        print(json.dumps([r.to_dict() for r in results], indent=2))
+        print(json.dumps(
+            [{"error": r.error, "message": r.message,
+              "point": r.point.describe()}
+             if isinstance(r, PointFailure) else r.to_dict()
+             for r in results], indent=2))
     else:
         headers = ("Benchmark", "Dataset", "Variant", "Params", "Cycles",
                    "Launches")
         widths = [len(h) for h in headers]
         rows = []
         for result in results:
-            row = (result.benchmark, result.dataset, result.label,
-                   result.params.describe(), str(result.total_time),
-                   str(result.device_launches))
+            if isinstance(result, PointFailure):
+                point = result.point
+                row = (point.benchmark, point.dataset, point.label,
+                       point.params.describe(),
+                       "FAILED: %s" % result.error, "-")
+            else:
+                row = (result.benchmark, result.dataset, result.label,
+                       result.params.describe(), str(result.total_time),
+                       str(result.device_launches))
             widths = [max(w, len(c)) for w, c in zip(widths, row)]
             rows.append(row)
         print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
@@ -240,11 +269,35 @@ def cmd_sweep(args):
         for row in rows:
             print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     stats = executor.stats
-    print("%d points: %d cached, %d simulated (jobs=%d, %.2fs)%s"
-          % (stats.points, stats.hits, stats.simulated, executor.jobs,
-             elapsed,
+    print("%d points: %d cached, %d simulated, %d failed "
+          "(backend=%s, jobs=%d, %.2fs)%s"
+          % (stats.points, stats.hits, stats.simulated, stats.failed,
+             executor.backend.name, executor.jobs, elapsed,
              "" if executor.cache is None else ", cache: %s" % args.cache_dir),
           file=sys.stderr)
+    for failure in failures:
+        print("failed: %s" % failure.describe(), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_cache(args):
+    from .harness.cache import TMP_MAX_AGE
+
+    if not os.path.isdir(args.cache_dir):
+        print("no cache at %s" % args.cache_dir, file=sys.stderr)
+        return 0 if args.action == "info" else 2
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        print(cache.info().format())
+    elif args.action == "clear":
+        removed = cache.clear()
+        print("cleared %d files from %s" % (removed, args.cache_dir))
+    else:
+        tmp_age = TMP_MAX_AGE if args.tmp_age is None else args.tmp_age
+        report = cache.prune(max_entries=args.max_entries,
+                             max_bytes=args.max_bytes, tmp_max_age=tmp_age)
+        print(report.format())
+        print(cache.info().format())
     return 0
 
 
@@ -306,9 +359,26 @@ def build_parser():
     p_sweep.add_argument("--scale", type=float, default=0.25)
     p_sweep.add_argument("--json", action="store_true",
                          help="emit results as JSON instead of a table")
+    p_sweep.add_argument("--keep-going", action="store_true",
+                         help="continue past failed points and report them "
+                              "at the end instead of aborting the sweep")
     _add_opt_flags(p_sweep)
     _add_sweep_flags(p_sweep, default_cache=".repro-cache")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and manage the on-disk sweep/figure cache")
+    p_cache.add_argument("action", choices=("info", "clear", "prune"))
+    p_cache.add_argument("--cache-dir", default=".repro-cache",
+                         help="cache directory (default .repro-cache)")
+    p_cache.add_argument("--max-entries", type=int, default=None,
+                         help="prune: keep at most this many entries")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="prune: keep at most this many bytes")
+    p_cache.add_argument("--tmp-age", type=float, default=None,
+                         help="prune: sweep .tmp files older than this many "
+                              "seconds (default 3600)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -2,23 +2,28 @@
 
 from .autotune import (QuickTuneResult, hill_climb, predict_threshold,
                        quick_tune)
-from .cache import CACHE_VERSION, ResultCache, point_key
+from .cache import (CACHE_VERSION, CacheInfo, FigureArtifactCache,
+                    PruneReport, ResultCache, figure_key, point_key)
 from .figures import (BreakdownFigure, FixedThresholdResult, SpeedupFigure,
                       SweepFigure, Table1Result, figure9, figure10, figure11,
                       figure12, fixed_threshold_study, table1)
 from .runner import (RunResult, child_launch_sizes, geomean, outputs_match,
                      run_variant)
-from .sweep import (SweepExecutor, SweepPoint, SweepStats, run_sweep,
-                    sweep_grid)
+from .sweep import (BACKENDS, Backend, PointFailure, SweepExecutor,
+                    SweepPoint, SweepPointError, SweepStats, make_backend,
+                    run_sweep, sweep_grid)
 from .tuning import (FULL_THRESHOLDS, TuneOutcome, threshold_candidates,
                      tune)
 from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
-                       TuningParams, uses, variant_to_run)
+                       TuningParams, mask_params, uses, variant_to_run)
 
 __all__ = [
     "QuickTuneResult", "hill_climb", "predict_threshold", "quick_tune",
-    "CACHE_VERSION", "ResultCache", "point_key",
-    "SweepExecutor", "SweepPoint", "SweepStats", "run_sweep", "sweep_grid",
+    "CACHE_VERSION", "CacheInfo", "FigureArtifactCache", "PruneReport",
+    "ResultCache", "figure_key", "point_key",
+    "BACKENDS", "Backend", "PointFailure", "SweepExecutor", "SweepPoint",
+    "SweepPointError", "SweepStats", "make_backend", "run_sweep",
+    "sweep_grid",
     "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
     "Table1Result", "figure9", "figure10", "figure11", "figure12",
     "fixed_threshold_study", "table1",
@@ -26,5 +31,5 @@ __all__ = [
     "run_variant",
     "FULL_THRESHOLDS", "TuneOutcome", "threshold_candidates", "tune",
     "ALL_GRANULARITIES", "KLAP_GRANULARITIES", "VARIANT_LABELS",
-    "TuningParams", "uses", "variant_to_run",
+    "TuningParams", "mask_params", "uses", "variant_to_run",
 ]

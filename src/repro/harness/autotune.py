@@ -99,7 +99,9 @@ def _evaluate_grid(bench, data, label, grid, device_config, executor, scale):
         dataset_name = getattr(data, "name", "?")
         points = [SweepPoint(bench.name, dataset_name, label, params,
                              device_config, scale) for params in grid]
-        return [result.total_time for result in executor.run(points)]
+        # Tuners cannot represent failed points: force failures to raise.
+        return [result.total_time
+                for result in executor.run(points, on_error="raise")]
     return [run_variant(bench, data, label, params, device_config).total_time
             for params in grid]
 

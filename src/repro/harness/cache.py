@@ -1,45 +1,144 @@
-"""Persistent, content-addressed cache of sweep results.
+"""Persistent, content-addressed cache of sweep results and figure artifacts.
 
 Every figure/autotune invocation re-simulates the same dense
 (benchmark × dataset × variant × params) grids from scratch; this cache
-makes repeated runs cheap. Layout: one JSON file per point,
+makes repeated runs cheap. Layout: one JSON file per point plus one pickle
+per finished figure,
 
-    <cache_dir>/<key>.json
+    <cache_dir>/<key>.json              -- RunResult (ResultCache)
+    <cache_dir>/figures/<key>.pkl       -- figure object (FigureArtifactCache)
 
-where ``key`` is the SHA-256 of the canonical point spec (benchmark,
-dataset, scale, variant label, tuning params, device config) plus the code
-version (``repro.__version__`` and :data:`CACHE_VERSION`). Any change to a
-tuning parameter, the device model, or the code version therefore lands on
-a different key — stale entries are never returned, only orphaned.
+where ``key`` is the SHA-256 of the canonical point (or figure) spec plus
+the code version (``repro.__version__`` and :data:`CACHE_VERSION`). Any
+change to a tuning parameter, the device model, or the code version
+therefore lands on a different key — stale entries are never returned,
+only orphaned.
 
-Entries store :class:`~repro.harness.runner.RunResult` fields except the
-raw ``outputs`` arrays (results carrying outputs are simply not cached).
-Corrupted or truncated entries are dropped and treated as misses, so a
-killed run can never poison later ones.
+Orphans are why the cache has a lifecycle: :meth:`ResultCache.info` counts
+entries and bytes, :meth:`ResultCache.prune` bounds both by evicting the
+least-recently-used entries (hits refresh mtime, so mtime order is LRU
+order), and :meth:`ResultCache.clear`/:meth:`ResultCache.prune` also sweep
+``.tmp`` files stranded by a run killed between ``mkstemp`` and
+``os.replace``. The ``repro cache`` CLI (``info``/``clear``/``prune``)
+fronts all three.
+
+Result entries store :class:`~repro.harness.runner.RunResult` fields except
+the raw ``outputs`` arrays (results carrying outputs are simply not
+cached). Corrupted or truncated entries are dropped and treated as misses,
+so a killed run can never poison later ones.
 """
 
 import hashlib
 import json
 import os
+import pickle
 import tempfile
+import time
+from dataclasses import dataclass
 
 from .. import __version__
 from .runner import RunResult
 
 #: Bump when the cached representation or the simulator semantics change.
-CACHE_VERSION = 1
+#: 2: sweep_grid/figure11 canonicalize group_blocks via mask_params, so
+#: pre-existing keys for non-multiblock points may alias stale entries.
+CACHE_VERSION = 2
+
+#: Default age (seconds) past which a stranded ``.tmp`` file is considered
+#: stale — generous enough that a live writer is never swept.
+TMP_MAX_AGE = 3600.0
+
+
+def _hash_spec(spec):
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def point_key(point):
     """Stable content hash for one sweep point (hex SHA-256)."""
     spec = {"cache_version": CACHE_VERSION, "code_version": __version__}
     spec.update(point.spec())
-    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return _hash_spec(spec)
+
+
+def figure_key(name, spec):
+    """Stable content hash for one figure invocation (hex SHA-256)."""
+    return _hash_spec({"cache_version": CACHE_VERSION,
+                       "code_version": __version__,
+                       "figure": name, "spec": spec})
+
+
+def _touch(path):
+    """Refresh mtime on a cache hit so prune's mtime order is LRU order."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+def _remove_quietly(path):
+    try:
+        os.remove(path)
+        return True
+    except OSError:
+        return False
+
+
+@dataclass
+class CacheInfo:
+    """Size accounting for one cache directory."""
+
+    cache_dir: str
+    result_entries: int = 0
+    result_bytes: int = 0
+    artifact_entries: int = 0
+    artifact_bytes: int = 0
+    tmp_files: int = 0
+    tmp_bytes: int = 0
+
+    @property
+    def entries(self):
+        return self.result_entries + self.artifact_entries
+
+    @property
+    def total_bytes(self):
+        return self.result_bytes + self.artifact_bytes + self.tmp_bytes
+
+    def format(self):
+        return "\n".join([
+            "cache %s" % self.cache_dir,
+            "  result entries : %6d (%d bytes)"
+            % (self.result_entries, self.result_bytes),
+            "  figure artifacts: %5d (%d bytes)"
+            % (self.artifact_entries, self.artifact_bytes),
+            "  stale .tmp files: %5d (%d bytes)"
+            % (self.tmp_files, self.tmp_bytes),
+            "  total           : %5d entries, %d bytes"
+            % (self.entries, self.total_bytes),
+        ])
+
+
+@dataclass
+class PruneReport:
+    """What one :meth:`ResultCache.prune` call removed."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    removed_tmp: int = 0
+
+    def format(self):
+        return ("pruned %d entries (%d bytes), swept %d stale .tmp files"
+                % (self.removed_entries, self.removed_bytes,
+                   self.removed_tmp))
 
 
 class ResultCache:
-    """On-disk result cache; safe to share across processes and runs."""
+    """On-disk result cache; safe to share across processes and runs.
+
+    Also owns the lifecycle of the whole cache directory — including the
+    ``figures/`` artifact subdirectory — so ``info``/``clear``/``prune``
+    account for and bound everything under ``cache_dir``.
+    """
 
     def __init__(self, cache_dir):
         self.cache_dir = str(cache_dir)
@@ -49,6 +148,9 @@ class ResultCache:
 
     def _path(self, key):
         return os.path.join(self.cache_dir, key + ".json")
+
+    def _figures_dir(self):
+        return os.path.join(self.cache_dir, "figures")
 
     def get(self, point):
         """Cached RunResult for *point*, or None on miss/corruption."""
@@ -62,13 +164,11 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted/truncated entry: drop it so the point re-simulates.
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            _remove_quietly(path)
             self.misses += 1
             return None
         self.hits += 1
+        _touch(path)
         return result
 
     def put(self, point, result):
@@ -88,11 +188,138 @@ class ResultCache:
                 os.remove(tmp)
         return True
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def _scan(self):
+        """(entries, tmp_files): (path, bytes, mtime) triples under the
+        cache root and the figures subdirectory."""
+        entries, tmp_files = [], []
+        roots = [(self.cache_dir, ".json"), (self._figures_dir(), ".pkl")]
+        for root, suffix in roots:
+            try:
+                names = os.listdir(root)
+            except OSError:
+                continue
+            for name in names:
+                path = os.path.join(root, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue            # raced with a concurrent prune
+                if not os.path.isfile(path):
+                    continue
+                record = (path, stat.st_size, stat.st_mtime)
+                if name.endswith(suffix):
+                    entries.append(record)
+                elif name.endswith(".tmp"):
+                    tmp_files.append(record)
+        return entries, tmp_files
+
+    def info(self):
+        """Entry/byte accounting for everything under ``cache_dir``."""
+        entries, tmp_files = self._scan()
+        info = CacheInfo(cache_dir=self.cache_dir)
+        for path, size, _ in entries:
+            if path.endswith(".pkl"):
+                info.artifact_entries += 1
+                info.artifact_bytes += size
+            else:
+                info.result_entries += 1
+                info.result_bytes += size
+        info.tmp_files = len(tmp_files)
+        info.tmp_bytes = sum(size for _, size, _ in tmp_files)
+        return info
+
     def __len__(self):
         return sum(1 for name in os.listdir(self.cache_dir)
                    if name.endswith(".json"))
 
     def clear(self):
-        for name in os.listdir(self.cache_dir):
-            if name.endswith(".json"):
-                os.remove(os.path.join(self.cache_dir, name))
+        """Remove every entry, artifact, and stranded ``.tmp`` file."""
+        entries, tmp_files = self._scan()
+        removed = 0
+        for path, _, _ in entries + tmp_files:
+            removed += _remove_quietly(path)
+        return removed
+
+    def prune(self, max_entries=None, max_bytes=None,
+              tmp_max_age=TMP_MAX_AGE, now=None):
+        """Bound the cache: sweep stale ``.tmp`` files, then evict
+        least-recently-used entries (result + artifact, by mtime — hits
+        refresh it) until at most *max_entries* entries totalling at most
+        *max_bytes* bytes remain. Returns a :class:`PruneReport`.
+        """
+        entries, tmp_files = self._scan()
+        report = PruneReport()
+        now = time.time() if now is None else now
+        for path, _, mtime in tmp_files:
+            if now - mtime >= tmp_max_age:
+                report.removed_tmp += _remove_quietly(path)
+        entries.sort(key=lambda record: record[2])      # oldest first
+        total_bytes = sum(size for _, size, _ in entries)
+        remaining = len(entries)
+        for path, size, _ in entries:
+            over_count = max_entries is not None and remaining > max_entries
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            if not (over_count or over_bytes):
+                break
+            if _remove_quietly(path):
+                report.removed_entries += 1
+                report.removed_bytes += size
+            remaining -= 1
+            total_bytes -= size
+        return report
+
+
+class FigureArtifactCache:
+    """Pickled figure-result objects, keyed by figure name + call spec.
+
+    A warm :class:`~repro.harness.sweep.ResultCache` makes the *grid* free
+    but a figure run still rebuilds datasets and re-runs the reference /
+    verification points outside the executor; caching the finished figure
+    object makes a fully-warm ``repro figure`` run near-instant. Shares
+    ``cache_dir`` with :class:`ResultCache` (entries live in
+    ``<cache_dir>/figures/``), so one ``repro cache`` lifecycle governs
+    both.
+    """
+
+    def __init__(self, cache_dir):
+        self.cache_dir = os.path.join(str(cache_dir), "figures")
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    def _path(self, name, spec):
+        return os.path.join(self.cache_dir, figure_key(name, spec) + ".pkl")
+
+    def get(self, name, spec):
+        """Cached figure object, or None on miss/corruption."""
+        path = self._path(name, spec)
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted/truncated artifact (pickle can raise nearly
+            # anything): drop it and regenerate.
+            _remove_quietly(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        _touch(path)
+        return artifact
+
+    def put(self, name, spec, artifact):
+        """Atomically store one figure object."""
+        path = self._path(name, spec)
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(artifact, handle)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        return True

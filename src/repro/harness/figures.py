@@ -7,13 +7,53 @@ the comparisons (who wins, by what factor, where crossovers fall) are the
 reproduction target.
 """
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 
 from ..benchmarks import FIG9_PAIRS, FIG12_BENCHMARKS, get_benchmark
 from ..sim.config import DeviceConfig
+from .cache import FigureArtifactCache
 from .runner import geomean, run_variant
 from .tuning import threshold_candidates, tune
-from .variants import VARIANT_LABELS, TuningParams
+from .variants import VARIANT_LABELS, TuningParams, mask_params
+
+
+def _artifact_cache(artifacts):
+    """Coerce an ``artifacts=`` argument (cache, directory, or None)."""
+    if isinstance(artifacts, (str, os.PathLike)):
+        return FigureArtifactCache(artifacts)
+    return artifacts
+
+
+def _spec_value(value):
+    if isinstance(value, DeviceConfig):
+        return asdict(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_spec_value(item) for item in value]
+    return value
+
+
+def _artifact_spec(**kwargs):
+    """Canonical JSON-able spec of one figure invocation (the cache key)."""
+    return {key: _spec_value(value) for key, value in kwargs.items()}
+
+
+def _build_cached(artifacts, name, spec, build):
+    """Serve *name* from the figure-level artifact cache, else build and
+    store. A warm result cache makes the grid free but a figure run still
+    rebuilds datasets and reference runs; this makes warm runs near-instant.
+    """
+    artifacts = _artifact_cache(artifacts)
+    if artifacts is not None:
+        cached = artifacts.get(name, spec)
+        if cached is not None:
+            return cached
+    result = build()
+    if artifacts is not None:
+        artifacts.put(name, spec, result)
+    return result
 
 
 def _format_table(headers, rows, title=""):
@@ -38,9 +78,11 @@ def _run_point(bench, data, label, params, device_config, executor, scale,
     serial path still performs)."""
     if executor is not None and scale is not None:
         from .sweep import SweepPoint
+        # Figures cannot represent a failed point: force it to raise.
         return executor.run_one(SweepPoint(
             bench.name, getattr(data, "name", "?"), label,
-            params or TuningParams(), device_config or DeviceConfig(), scale))
+            params or TuningParams(), device_config or DeviceConfig(),
+            scale), on_error="raise")
     return run_variant(bench, data, label, params, device_config,
                        check_against=check_against)
 
@@ -57,17 +99,20 @@ class Table1Result:
             "Table I: benchmarks and datasets (scaled reproduction)")
 
 
-def table1(scale=1.0):
+def table1(scale=1.0, artifacts=None):
     """The benchmark/dataset inventory with this reproduction's sizes."""
-    rows = []
-    for bench_name, dataset_name in FIG9_PAIRS:
-        bench = get_benchmark(bench_name)
-        data = bench.build_dataset(dataset_name, scale)
-        rows.append((bench.name, dataset_name, _dataset_size(data)))
-    bench = get_benchmark("BFS")
-    road = bench.build_dataset("ROAD-NY", scale)
-    rows.append(("BFS/...", "ROAD-NY", _dataset_size(road)))
-    return Table1Result(rows)
+    def build():
+        rows = []
+        for bench_name, dataset_name in FIG9_PAIRS:
+            bench = get_benchmark(bench_name)
+            data = bench.build_dataset(dataset_name, scale)
+            rows.append((bench.name, dataset_name, _dataset_size(data)))
+        bench = get_benchmark("BFS")
+        road = bench.build_dataset("ROAD-NY", scale)
+        rows.append(("BFS/...", "ROAD-NY", _dataset_size(road)))
+        return Table1Result(rows)
+    return _build_cached(artifacts, "table1", _artifact_spec(scale=scale),
+                         build)
 
 
 def _dataset_size(data):
@@ -92,7 +137,14 @@ class SpeedupFigure:
     # (bench, ds, label) -> TuningParams
 
     def geomeans(self):
-        labels = list(next(iter(self.speedups.values())).keys())
+        # Union of labels across every row (a label missing from the
+        # first pair's row must still reach the geomean table), in first-
+        # appearance order.
+        labels = []
+        for row in self.speedups.values():
+            for label in row:
+                if label not in labels:
+                    labels.append(label)
         return {label: geomean([self.speedups[p][label]
                                 for p in self.pairs
                                 if label in self.speedups[p]])
@@ -147,14 +199,22 @@ def _speedup_figure(title, pairs, scale, strategy, device_config, labels,
 
 
 def figure9(scale=0.25, strategy="guided", device_config=None,
-            pairs=FIG9_PAIRS, executor=None):
+            pairs=FIG9_PAIRS, executor=None, artifacts=None):
     """Fig. 9: all optimization combinations on all benchmark/dataset pairs.
 
     An *executor* (:class:`~repro.harness.sweep.SweepExecutor`) runs every
-    tuning grid through the parallel/cached sweep engine.
+    tuning grid through the parallel/cached sweep engine; *artifacts* (a
+    :class:`~repro.harness.cache.FigureArtifactCache` or its directory)
+    caches the finished figure object itself.
     """
-    return _speedup_figure("Figure 9", pairs, scale, strategy, device_config,
-                           VARIANT_LABELS, executor=executor)
+    spec = _artifact_spec(scale=scale, strategy=strategy,
+                          device_config=device_config or DeviceConfig(),
+                          pairs=pairs)
+    return _build_cached(
+        artifacts, "figure9", spec,
+        lambda: _speedup_figure("Figure 9", pairs, scale, strategy,
+                                device_config, VARIANT_LABELS,
+                                executor=executor))
 
 
 # -- Figure 10 -----------------------------------------------------------------
@@ -185,9 +245,17 @@ class BreakdownFigure:
 
 
 def figure10(scale=0.25, strategy="guided", device_config=None,
-             pairs=FIG9_PAIRS, executor=None):
+             pairs=FIG9_PAIRS, executor=None, artifacts=None):
     """Fig. 10: execution-time breakdown of KLAP vs +T vs +T+C."""
     device_config = device_config or DeviceConfig()
+    spec = _artifact_spec(scale=scale, strategy=strategy,
+                          device_config=device_config, pairs=pairs)
+    return _build_cached(
+        artifacts, "figure10", spec,
+        lambda: _figure10(scale, strategy, device_config, pairs, executor))
+
+
+def _figure10(scale, strategy, device_config, pairs, executor):
     rows = {}
     for bench_name, dataset_name in pairs:
         bench = get_benchmark(bench_name)
@@ -236,7 +304,8 @@ class SweepFigure:
 
 
 def figure11(bench_name, dataset_name, scale=0.25, coarsen_factor=8,
-             device_config=None, group_blocks=8, executor=None):
+             device_config=None, group_blocks=8, executor=None,
+             artifacts=None):
     """Fig. 11: speedup vs threshold for each aggregation granularity.
 
     The coarsening factor is held at a fixed (good) value like the paper.
@@ -245,6 +314,18 @@ def figure11(bench_name, dataset_name, scale=0.25, coarsen_factor=8,
     *executor* it fans out through the sweep engine in one batch.
     """
     device_config = device_config or DeviceConfig()
+    spec = _artifact_spec(benchmark=bench_name, dataset=dataset_name,
+                          scale=scale, coarsen_factor=coarsen_factor,
+                          device_config=device_config,
+                          group_blocks=group_blocks)
+    return _build_cached(
+        artifacts, "figure11", spec,
+        lambda: _figure11(bench_name, dataset_name, scale, coarsen_factor,
+                          device_config, group_blocks, executor))
+
+
+def _figure11(bench_name, dataset_name, scale, coarsen_factor,
+              device_config, group_blocks, executor):
     bench = get_benchmark(bench_name)
     data = bench.build_dataset(dataset_name, scale)
     reference = run_variant(bench, data, "No CDP",
@@ -257,18 +338,23 @@ def figure11(bench_name, dataset_name, scale=0.25, coarsen_factor=8,
             label = _sweep_label(threshold, granularity)
             if label is None:
                 continue
-            params = TuningParams(
+            # mask_params pins group_blocks to the default unless the
+            # granularity is multi-block, so non-multi-block cells map to
+            # one cache key whatever group_blocks= the caller passed.
+            params = mask_params(label, TuningParams(
                 threshold=threshold,
                 coarsen_factor=coarsen_factor,
                 granularity=None if granularity == "none" else granularity,
-                group_blocks=group_blocks)
+                group_blocks=group_blocks))
             cells.append((granularity, threshold, label, params))
     if executor is not None:
         from .sweep import SweepPoint
+        # The figure has no representation for a failed cell: force
+        # failures to raise (with point attribution).
         results = executor.run(
             [SweepPoint(bench_name, dataset_name, label, params,
                         device_config, scale)
-             for _, _, label, params in cells])
+             for _, _, label, params in cells], on_error="raise")
         # Workers return timings only, so re-verify the fastest point
         # against the reference outputs (the serial path checks them all).
         best_index = min(range(len(results)),
@@ -303,16 +389,21 @@ def _sweep_label(threshold, granularity):
 # -- Figure 12 -----------------------------------------------------------------
 
 def figure12(scale=0.25, strategy="guided", device_config=None,
-             executor=None):
+             executor=None, artifacts=None):
     """Fig. 12: graph benchmarks on a road graph (low nested parallelism).
 
     Per Sec. VIII-D the threshold is tuned *beyond* the largest launch size
     here, so CDP+T may degenerate to serializing every child like No CDP.
     """
     pairs = [(name, "ROAD-NY") for name in FIG12_BENCHMARKS]
-    return _speedup_figure("Figure 12", pairs, scale, strategy,
-                           device_config, VARIANT_LABELS,
-                           uncapped_threshold=True, executor=executor)
+    spec = _artifact_spec(scale=scale, strategy=strategy,
+                          device_config=device_config or DeviceConfig(),
+                          pairs=pairs)
+    return _build_cached(
+        artifacts, "figure12", spec,
+        lambda: _speedup_figure("Figure 12", pairs, scale, strategy,
+                                device_config, VARIANT_LABELS,
+                                uncapped_threshold=True, executor=executor))
 
 
 # -- Sec. VIII-C fixed-threshold study ---------------------------------------
@@ -335,9 +426,21 @@ class FixedThresholdResult:
 
 
 def fixed_threshold_study(scale=0.25, strategy="guided", device_config=None,
-                          pairs=FIG9_PAIRS, fixed=128, executor=None):
+                          pairs=FIG9_PAIRS, fixed=128, executor=None,
+                          artifacts=None):
     """Sec. VIII-C: a fixed threshold of 128 still yields most of the gain."""
     device_config = device_config or DeviceConfig()
+    spec = _artifact_spec(scale=scale, strategy=strategy,
+                          device_config=device_config, pairs=pairs,
+                          fixed=fixed)
+    return _build_cached(
+        artifacts, "fixed_threshold", spec,
+        lambda: _fixed_threshold_study(scale, strategy, device_config,
+                                       pairs, fixed, executor))
+
+
+def _fixed_threshold_study(scale, strategy, device_config, pairs, fixed,
+                           executor):
     per_pair = {}
     for bench_name, dataset_name in pairs:
         bench = get_benchmark(bench_name)

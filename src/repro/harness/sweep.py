@@ -3,27 +3,55 @@
 Figures 9-12, Table 1, and the autotuner are all sweeps over
 (benchmark × dataset × variant × tuning params). This module executes such
 a grid as a declarative list of :class:`SweepPoint`\\ s, fanned out over a
-``multiprocessing`` pool with deterministic result ordering, with an
+pluggable :class:`Backend` with deterministic result ordering, with an
 optional persistent :class:`~repro.harness.cache.ResultCache` so repeated
 runs skip already-simulated points.
+
+Backends (``backend=`` on :class:`SweepExecutor`, ``--backend`` on the
+CLI):
+
+* ``serial`` — in-process loop; the default for ``jobs <= 1``;
+* ``process`` — a ``multiprocessing`` pool (fork where available); the
+  default for ``jobs > 1``;
+* ``thread`` — a ``concurrent.futures.ThreadPoolExecutor``; the simulator
+  is GIL-bound pure Python so this rarely speeds anything up, but it
+  shares the in-process dataset memo and needs no pickling;
+* ``futures`` — a ``concurrent.futures.ProcessPoolExecutor``.
+
+Work is submitted in chunks (``chunk_size=``, auto-sized by default) and
+every worker failure is attributed to the point that died: the raised
+:class:`SweepPointError` carries ``SweepPoint.describe()`` and the worker
+traceback instead of an anonymous pool stack. With ``on_error="continue"``
+the executor runs past failures and returns a :class:`PointFailure` in the
+failed point's slot.
 
 Points are specified by *names* (benchmark, dataset, scale) rather than
 live objects so they pickle cheaply; each worker rebuilds the benchmark and
 dataset locally (dataset construction is seeded, hence deterministic) and
 memoizes them across the points it serves. The simulator itself is
 single-threaded and deterministic, so a parallel sweep returns RunResults
-identical to a serial one — the test suite enforces this.
+identical to a serial one — the test suite enforces this across every
+backend.
 """
 
+import concurrent.futures
 import multiprocessing
 import os
+import threading
+import traceback
 from dataclasses import asdict, dataclass, field
 
 from ..benchmarks import get_benchmark
+from ..errors import ReproError
 from ..sim.config import DeviceConfig
 from .cache import ResultCache
 from .runner import run_variant
-from .variants import TuningParams, uses
+from .variants import TuningParams, mask_params
+
+__all__ = [
+    "SweepPoint", "SweepExecutor", "SweepStats", "SweepPointError",
+    "PointFailure", "Backend", "BACKENDS", "run_sweep", "sweep_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -59,9 +87,10 @@ def sweep_grid(pairs, labels, scale=0.25, params=None, params_for=None,
     """Expand a declarative (pairs × labels) grid into SweepPoints.
 
     *params_for*, if given, is a ``(bench, dataset, label) -> TuningParams``
-    callable; otherwise every point shares *params*, with the components a
-    label does not use masked to None (so e.g. a plain CDP point keys and
-    displays identically whatever threshold the grid carries).
+    callable; otherwise every point shares *params*, canonicalized per
+    label by :func:`~repro.harness.variants.mask_params` (so e.g. a plain
+    CDP point keys and displays identically whatever threshold or group
+    size the grid carries).
     """
     device_config = device_config or DeviceConfig()
     params = params or TuningParams()
@@ -71,37 +100,73 @@ def sweep_grid(pairs, labels, scale=0.25, params=None, params_for=None,
             if params_for is not None:
                 point_params = params_for(bench_name, dataset_name, label)
             else:
-                granularity = params.granularity if uses(label, "A") else None
-                point_params = TuningParams(
-                    threshold=params.threshold if uses(label, "T") else None,
-                    coarsen_factor=params.coarsen_factor
-                    if uses(label, "C") else None,
-                    granularity=granularity,
-                    group_blocks=params.group_blocks
-                    if granularity == "multiblock" else 8)
+                point_params = mask_params(label, params)
             points.append(SweepPoint(bench_name, dataset_name, label,
                                      point_params, device_config, scale))
     return points
+
+
+# -- errors -------------------------------------------------------------------
+
+class SweepPointError(ReproError):
+    """A worker died simulating one point; names the point, not the pool."""
+
+    def __init__(self, point, error, message, worker_traceback=""):
+        self.point = point
+        self.error = error
+        self.worker_traceback = worker_traceback
+        super().__init__("sweep point failed: %s: %s: %s"
+                         % (point.describe(), error, message))
+
+
+@dataclass
+class PointFailure:
+    """Failed-point placeholder returned when ``on_error="continue"``.
+
+    Occupies the failed point's slot in the result list so ordering is
+    preserved; carries the same attribution a raised
+    :class:`SweepPointError` would.
+    """
+
+    point: SweepPoint
+    error: str                # exception type name, e.g. "ReproError"
+    message: str
+    worker_traceback: str = ""
+
+    def describe(self):
+        return "%s: %s: %s" % (self.point.describe(), self.error,
+                               self.message)
+
+    def to_error(self):
+        return SweepPointError(self.point, self.error, self.message,
+                               self.worker_traceback)
 
 
 # -- worker-side execution ----------------------------------------------------
 
 #: Per-process (benchmark, dataset) memo — points of one sweep usually share
 #: a handful of datasets, and construction is deterministic, so reuse is
-#: both safe and a large constant-factor win.
+#: both safe and a large constant-factor win. The thread backend shares it
+#: across worker threads, so lookup/insert/evict hold a lock (dataset
+#: construction itself runs outside it; a racing duplicate build is
+#: wasteful but deterministic, hence harmless).
 _DATASET_MEMO = {}
 _DATASET_MEMO_LIMIT = 8
+_DATASET_MEMO_LOCK = threading.Lock()
 
 
 def _bench_and_data(benchmark, dataset, scale):
     key = (benchmark, dataset, scale)
-    entry = _DATASET_MEMO.get(key)
+    with _DATASET_MEMO_LOCK:
+        entry = _DATASET_MEMO.get(key)
     if entry is None:
         bench = get_benchmark(benchmark)
         entry = (bench, bench.build_dataset(dataset, scale))
-        if len(_DATASET_MEMO) >= _DATASET_MEMO_LIMIT:
-            _DATASET_MEMO.pop(next(iter(_DATASET_MEMO)))
-        _DATASET_MEMO[key] = entry
+        with _DATASET_MEMO_LOCK:
+            while (key not in _DATASET_MEMO
+                    and len(_DATASET_MEMO) >= _DATASET_MEMO_LIMIT):
+                _DATASET_MEMO.pop(next(iter(_DATASET_MEMO)))
+            entry = _DATASET_MEMO.setdefault(key, entry)
     return entry
 
 
@@ -113,8 +178,20 @@ def _simulate_point(point):
                        point.device_config)
 
 
-def _worker(point):
-    return _simulate_point(point)
+def _safe_worker(point):
+    """Run one point, trapping any failure into a picklable tagged tuple.
+
+    Exceptions (and their tracebacks) are formatted worker-side because
+    neither pickles reliably across process boundaries; the executor turns
+    the tuple back into a :class:`SweepPointError`/:class:`PointFailure`
+    attributed to this exact point. BaseExceptions (KeyboardInterrupt,
+    SystemExit) propagate so a sweep stays interruptible.
+    """
+    try:
+        return ("ok", _simulate_point(point))
+    except Exception as exc:
+        return ("error", type(exc).__name__, str(exc),
+                traceback.format_exc())
 
 
 def _pool_context():
@@ -123,41 +200,195 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
+# -- backends -----------------------------------------------------------------
+
+def _auto_chunk(n_items, jobs):
+    """Chunk size balancing dispatch overhead against load balance: about
+    four chunks per worker, capped so small grids still spread out."""
+    return max(1, min(32, n_items // max(1, jobs * 4) or 1))
+
+
+class Backend:
+    """Strategy for executing a batch of cache-miss points.
+
+    ``map`` takes SweepPoints and returns one outcome tuple per point, in
+    input order: ``("ok", RunResult)`` or
+    ``("error", type_name, message, traceback)`` (the :func:`_safe_worker`
+    encoding). Pools are created lazily on the first batch and reused
+    across batches until :meth:`close`.
+    """
+
+    name = None
+
+    def __init__(self, jobs=1, chunk_size=None):
+        self.jobs = max(1, int(jobs))
+        self.chunk_size = chunk_size
+
+    def _chunk(self, n_items):
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        return _auto_chunk(n_items, self.jobs)
+
+    def map(self, points):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class SerialBackend(Backend):
+    """In-process loop; no pool, no pickling, deterministic by construction."""
+
+    name = "serial"
+
+    def map(self, points):
+        return [_safe_worker(point) for point in points]
+
+
+class ProcessBackend(Backend):
+    """``multiprocessing.Pool`` with chunked submission (PR 1's pool)."""
+
+    name = "process"
+
+    def __init__(self, jobs=1, chunk_size=None):
+        super().__init__(jobs, chunk_size)
+        self._pool = None
+
+    def map(self, points):
+        if self.jobs <= 1 or len(points) <= 1:
+            return [_safe_worker(point) for point in points]
+        if self._pool is None:
+            self._pool = _pool_context().Pool(self.jobs)
+        return self._pool.map(_safe_worker, points,
+                              chunksize=self._chunk(len(points)))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+class _FuturesBackend(Backend):
+    """Shared base for the ``concurrent.futures`` pool backends."""
+
+    _executor_cls = None
+
+    def __init__(self, jobs=1, chunk_size=None):
+        super().__init__(jobs, chunk_size)
+        self._executor = None
+
+    def _make_executor(self):
+        return self._executor_cls(max_workers=self.jobs)
+
+    def map(self, points):
+        if self.jobs <= 1 or len(points) <= 1:
+            return [_safe_worker(point) for point in points]
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return list(self._executor.map(_safe_worker, points,
+                                       chunksize=self._chunk(len(points))))
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ThreadBackend(_FuturesBackend):
+    """``ThreadPoolExecutor``: shares the dataset memo, needs no pickling."""
+
+    name = "thread"
+    _executor_cls = concurrent.futures.ThreadPoolExecutor
+
+
+class FuturesBackend(_FuturesBackend):
+    """``ProcessPoolExecutor`` (the stdlib's other process pool)."""
+
+    name = "futures"
+    _executor_cls = concurrent.futures.ProcessPoolExecutor
+
+    def _make_executor(self):
+        return self._executor_cls(max_workers=self.jobs,
+                                  mp_context=_pool_context())
+
+
+BACKENDS = {cls.name: cls for cls in
+            (SerialBackend, ProcessBackend, ThreadBackend, FuturesBackend)}
+
+
+def make_backend(backend, jobs=1, chunk_size=None):
+    """Resolve a backend name (or pass through an instance)."""
+    if isinstance(backend, Backend):
+        return backend
+    if backend is None:
+        backend = "serial" if jobs <= 1 else "process"
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError("unknown sweep backend %r (have %s)"
+                         % (backend, ", ".join(sorted(BACKENDS))))
+    return cls(jobs=jobs, chunk_size=chunk_size)
+
+
 # -- the executor -------------------------------------------------------------
 
 @dataclass
 class SweepStats:
-    """Cumulative counters for one executor."""
+    """Cumulative counters for one executor.
+
+    ``hits + simulated + failed == points``: every point is either served
+    from cache, simulated successfully, or failed in a worker.
+    """
 
     points: int = 0
     hits: int = 0
     simulated: int = 0
+    failed: int = 0
 
 
 class SweepExecutor:
     """Runs SweepPoints — optionally in parallel, optionally cached.
 
-    ``run`` resolves cache hits first, dispatches only the misses (to a
-    worker pool when ``jobs > 1``), stores fresh results back, and returns
+    ``run`` resolves cache hits first, dispatches only the misses to the
+    configured :class:`Backend`, stores fresh results back, and returns
     results in the exact order of the input points. A fully-warm run never
     touches the simulator or spawns a pool.
 
-    The pool is created lazily on the first parallel batch and reused
-    across ``run`` calls, so multi-grid drivers (figures, tuners) keep
-    their workers — and the workers' dataset memos — alive. Call
-    :meth:`close` (or use the executor as a context manager) to release
-    the workers early; otherwise they end with the process.
+    ``backend`` is a name from :data:`BACKENDS` (``serial``, ``process``,
+    ``thread``, ``futures``) or an instance; unset, it is ``serial`` for
+    ``jobs <= 1`` and ``process`` otherwise. Pool-backed backends are
+    created lazily on the first miss batch and reused across ``run``
+    calls, so multi-grid drivers (figures, tuners) keep their workers —
+    and the workers' dataset memos — alive. Call :meth:`close` (or use
+    the executor as a context manager) to release the workers early;
+    otherwise they end with the process.
+
+    A worker failure raises :class:`SweepPointError` naming the point that
+    died (``on_error="raise"``, the default); ``on_error="continue"`` runs
+    the rest of the batch and returns a :class:`PointFailure` in the
+    failed point's slot instead. Failed points are never cached.
     """
 
-    def __init__(self, jobs=1, cache=None):
+    def __init__(self, jobs=1, cache=None, backend=None, chunk_size=None,
+                 on_error="raise"):
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache)
+        if on_error not in ("raise", "continue"):
+            raise ValueError("on_error must be 'raise' or 'continue', "
+                             "not %r" % (on_error,))
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.backend = make_backend(backend, jobs=self.jobs,
+                                    chunk_size=chunk_size)
+        self.on_error = on_error
         self.stats = SweepStats()
-        self._pool = None
 
-    def run(self, points):
+    def run(self, points, on_error=None):
+        on_error = self.on_error if on_error is None else on_error
+        if on_error not in ("raise", "continue"):
+            raise ValueError("on_error must be 'raise' or 'continue', "
+                             "not %r" % (on_error,))
         points = list(points)
         self.stats.points += len(points)
         results = [None] * len(points)
@@ -171,27 +402,35 @@ class SweepExecutor:
         self.stats.hits += len(points) - len(misses)
         if misses:
             todo = [points[index] for index in misses]
-            if self.jobs > 1 and len(todo) > 1:
-                if self._pool is None:
-                    self._pool = _pool_context().Pool(self.jobs)
-                fresh = self._pool.map(_worker, todo)
-            else:
-                fresh = [_simulate_point(point) for point in todo]
-            self.stats.simulated += len(todo)
-            for index, result in zip(misses, fresh):
-                results[index] = result
-                if self.cache is not None:
-                    self.cache.put(points[index], result)
+            outcomes = self.backend.map(todo)
+            first_error = None
+            # Store every success (and cache it) before raising, so a
+            # single failed point does not throw away the rest of the
+            # batch's simulations on the next run.
+            for index, outcome in zip(misses, outcomes):
+                point = points[index]
+                if outcome[0] == "ok":
+                    result = outcome[1]
+                    results[index] = result
+                    self.stats.simulated += 1
+                    if self.cache is not None:
+                        self.cache.put(point, result)
+                else:
+                    _, error, message, worker_tb = outcome
+                    self.stats.failed += 1
+                    failure = PointFailure(point, error, message, worker_tb)
+                    if first_error is None:
+                        first_error = failure
+                    results[index] = failure
+            if first_error is not None and on_error == "raise":
+                raise first_error.to_error()
         return results
 
-    def run_one(self, point):
-        return self.run([point])[0]
+    def run_one(self, point, on_error=None):
+        return self.run([point], on_error=on_error)[0]
 
     def close(self):
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        self.backend.close()
 
     def __enter__(self):
         return self
@@ -200,8 +439,10 @@ class SweepExecutor:
         self.close()
 
 
-def run_sweep(points, jobs=1, cache_dir=None):
+def run_sweep(points, jobs=1, cache_dir=None, backend=None,
+              on_error="raise"):
     """Convenience wrapper: execute *points*, return (results, stats)."""
     cache = ResultCache(cache_dir) if cache_dir else None
-    executor = SweepExecutor(jobs=jobs, cache=cache)
-    return executor.run(points), executor.stats
+    with SweepExecutor(jobs=jobs, cache=cache, backend=backend,
+                       on_error=on_error) as executor:
+        return executor.run(points), executor.stats

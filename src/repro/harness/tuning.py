@@ -55,8 +55,9 @@ def threshold_candidates(bench, data, cap_to_largest=True, coarse=False):
     if not cap_to_largest:
         beyond = next((t for t in FULL_THRESHOLDS if t > largest),
                       FULL_THRESHOLDS[-1])
-        candidates.append(beyond)
-    return candidates if cap_to_largest else list(FULL_THRESHOLDS)
+        if beyond > candidates[-1]:
+            candidates.append(beyond)
+    return candidates
 
 
 def _spaces(bench, data, label, strategy, klap_mode, uncapped=False):
@@ -122,7 +123,10 @@ def tune(bench, data, label, strategy="guided", device_config=None,
         dataset_name = getattr(data, "name", "?")
         points = [SweepPoint(bench.name, dataset_name, label, params,
                              device_config, scale) for params in grid]
-        results = executor.run(points)
+        # The tuner has no representation for a failed point, so force
+        # failures to raise (with attribution) whatever the executor's
+        # default on_error is.
+        results = executor.run(points, on_error="raise")
         evaluated = [(params, result.total_time)
                      for params, result in zip(grid, results)]
     else:

@@ -21,6 +21,11 @@ VARIANT_LABELS = (
 KLAP_GRANULARITIES = ("warp", "block", "grid")
 ALL_GRANULARITIES = ("warp", "block", "multiblock", "grid")
 
+#: The group size non-multiblock points are pinned to (only multi-block
+#: aggregation reads ``group_blocks``; everyone else must share one value
+#: so effective-identical configurations share one cache key).
+DEFAULT_GROUP_BLOCKS = 8
+
 
 @dataclass(frozen=True)
 class TuningParams:
@@ -29,7 +34,7 @@ class TuningParams:
     threshold: Optional[int] = None
     coarsen_factor: Optional[int] = None
     granularity: Optional[str] = None
-    group_blocks: int = 8
+    group_blocks: int = DEFAULT_GROUP_BLOCKS
 
     def describe(self):
         parts = []
@@ -52,6 +57,24 @@ def uses(label, letter):
     if label == "KLAP (CDP+A)":
         return letter == "A"
     return letter in label.split("+")
+
+
+def mask_params(label, params):
+    """Canonicalize *params* for *label*: null out components the variant
+    does not use and pin ``group_blocks`` to the default unless the
+    granularity is multi-block (the only one that reads it).
+
+    Grid builders and figure drivers share this so identical *effective*
+    configurations always produce identical :class:`TuningParams` — and
+    therefore one sweep-cache key — whatever the surrounding grid carried.
+    """
+    granularity = params.granularity if uses(label, "A") else None
+    return TuningParams(
+        threshold=params.threshold if uses(label, "T") else None,
+        coarsen_factor=params.coarsen_factor if uses(label, "C") else None,
+        granularity=granularity,
+        group_blocks=params.group_blocks if granularity == "multiblock"
+        else DEFAULT_GROUP_BLOCKS)
 
 
 def variant_to_run(label, params):

@@ -1,0 +1,179 @@
+"""Cache lifecycle tests: size accounting, LRU-ish pruning, stranded
+.tmp sweeping, and the figure-level artifact cache."""
+
+import os
+import time
+
+from repro.harness import (FigureArtifactCache, ResultCache, SweepExecutor,
+                           TuningParams, figure11, point_key, sweep_grid)
+from repro.harness import figures as figures_mod
+
+SCALE = 0.08
+
+POINTS = sweep_grid((("BFS", "KRON"), ("SSSP", "KRON")),
+                    ("CDP", "CDP+T"), scale=SCALE,
+                    params=TuningParams(threshold=16))
+
+
+def _filled_cache(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    SweepExecutor(cache=cache).run(POINTS)
+    return cache
+
+
+def _entry_paths(cache):
+    return sorted(os.path.join(cache.cache_dir, name)
+                  for name in os.listdir(cache.cache_dir)
+                  if name.endswith(".json"))
+
+
+class TestInfo:
+    def test_counts_entries_and_bytes(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        info = cache.info()
+        assert info.result_entries == len(POINTS)
+        assert info.result_bytes == sum(
+            os.path.getsize(p) for p in _entry_paths(cache))
+        assert info.artifact_entries == 0
+        assert info.tmp_files == 0
+        assert info.entries == len(POINTS)
+        assert info.total_bytes == info.result_bytes
+        assert "result entries" in info.format()
+
+    def test_counts_stranded_tmp(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        with open(os.path.join(cache.cache_dir, "dead.tmp"), "w") as handle:
+            handle.write("stranded")
+        info = cache.info()
+        assert info.tmp_files == 1
+        assert info.tmp_bytes == len("stranded")
+
+
+class TestPrune:
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        paths = _entry_paths(cache)
+        now = time.time()
+        # Make the first two entries old, the rest fresh.
+        for age, path in enumerate(paths):
+            os.utime(path, (now - 1000 + age, now - 1000 + age))
+        os.utime(paths[2], (now, now))
+        os.utime(paths[3], (now, now))
+        report = cache.prune(max_entries=2)
+        assert report.removed_entries == 2
+        assert report.removed_bytes > 0
+        remaining = _entry_paths(cache)
+        assert remaining == sorted(paths[2:4])
+
+    def test_max_bytes_bounds_total(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        budget = cache.info().result_bytes // 2
+        cache.prune(max_bytes=budget)
+        assert cache.info().total_bytes <= budget
+        assert len(cache) > 0      # eviction stops at the bound
+
+    def test_hit_refreshes_mtime(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        old = time.time() - 1000
+        for path in _entry_paths(cache):
+            os.utime(path, (old, old))
+        cache.get(POINTS[0])       # LRU touch
+        cache.prune(max_entries=1)
+        survivor, = _entry_paths(cache)
+        assert survivor.endswith(point_key(POINTS[0]) + ".json")
+
+    def test_prune_sweeps_stale_tmp(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        tmp = os.path.join(cache.cache_dir, "stranded.tmp")
+        with open(tmp, "w") as handle:
+            handle.write("x")
+        # A fresh .tmp survives the default age cutoff (a live writer).
+        report = cache.prune()
+        assert report.removed_tmp == 0
+        assert os.path.exists(tmp)
+        report = cache.prune(tmp_max_age=0)
+        assert report.removed_tmp == 1
+        assert not os.path.exists(tmp)
+        assert len(cache) == len(POINTS)       # entries untouched
+        assert "swept 1 stale .tmp" in report.format()
+
+    def test_noop_without_bounds(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        report = cache.prune()
+        assert report.removed_entries == 0
+        assert len(cache) == len(POINTS)
+
+
+class TestClear:
+    def test_clear_removes_stranded_tmp(self, tmp_path):
+        """Regression: a run killed between mkstemp and os.replace strands
+        a .tmp file that clear() used to leave behind forever."""
+        cache = _filled_cache(tmp_path)
+        tmp = os.path.join(cache.cache_dir, "killed-run.tmp")
+        with open(tmp, "w") as handle:
+            handle.write("partial write")
+        removed = cache.clear()
+        assert removed == len(POINTS) + 1
+        assert not os.path.exists(tmp)
+        assert len(cache) == 0
+
+    def test_clear_removes_artifacts(self, tmp_path):
+        cache = _filled_cache(tmp_path)
+        artifacts = FigureArtifactCache(cache.cache_dir)
+        artifacts.put("figure11", {"scale": "0.08"}, {"dummy": 1})
+        assert cache.info().artifact_entries == 1
+        cache.clear()
+        info = cache.info()
+        assert info.artifact_entries == 0
+        assert info.result_entries == 0
+
+
+class TestFigureArtifacts:
+    def test_roundtrip(self, tmp_path):
+        artifacts = FigureArtifactCache(str(tmp_path / "cache"))
+        spec = {"benchmark": "BFS", "scale": "0.05"}
+        assert artifacts.get("figure11", spec) is None
+        fig = figure11("BFS", "KRON", scale=SCALE)
+        artifacts.put("figure11", spec, fig)
+        cached = artifacts.get("figure11", spec)
+        assert cached.series == fig.series
+        assert (artifacts.hits, artifacts.misses) == (1, 1)
+
+    def test_spec_distinguishes_keys(self, tmp_path):
+        artifacts = FigureArtifactCache(str(tmp_path / "cache"))
+        artifacts.put("figure11", {"scale": "0.1"}, "a")
+        assert artifacts.get("figure11", {"scale": "0.2"}) is None
+        assert artifacts.get("figure12", {"scale": "0.1"}) is None
+        assert artifacts.get("figure11", {"scale": "0.1"}) == "a"
+
+    def test_corrupted_artifact_recovers(self, tmp_path):
+        artifacts = FigureArtifactCache(str(tmp_path / "cache"))
+        spec = {"scale": "0.1"}
+        artifacts.put("figure11", spec, "payload")
+        path = artifacts._path("figure11", spec)
+        with open(path, "wb") as handle:
+            handle.write(b"\x80not a pickle")
+        assert artifacts.get("figure11", spec) is None
+        assert not os.path.exists(path)
+
+    def test_warm_figure_skips_simulation(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        cold = figure11("BFS", "KRON", scale=SCALE, artifacts=cache_dir)
+
+        def banned(*args, **kwargs):
+            raise AssertionError("simulator invoked on a warm figure run")
+
+        monkeypatch.setattr(figures_mod, "run_variant", banned)
+        monkeypatch.setattr(figures_mod, "tune", banned)
+        warm = figure11("BFS", "KRON", scale=SCALE, artifacts=cache_dir)
+        assert warm.series == cold.series
+        assert warm.thresholds == cold.thresholds
+
+    def test_artifact_spec_changes_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        figure11("BFS", "KRON", scale=SCALE, artifacts=cache_dir)
+        artifacts = FigureArtifactCache(cache_dir)
+        before = len(os.listdir(artifacts.cache_dir))
+        figure11("BFS", "KRON", scale=SCALE, coarsen_factor=4,
+                 artifacts=cache_dir)
+        assert len(os.listdir(artifacts.cache_dir)) == before + 1

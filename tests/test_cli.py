@@ -112,6 +112,97 @@ class TestSweepCommand:
         assert "unknown variant" in capsys.readouterr().err
 
 
+class TestSweepBackendFlag:
+    @pytest.mark.parametrize("backend", ("serial", "process", "thread",
+                                         "futures"))
+    def test_backend_selected(self, backend, capsys):
+        args = ["sweep", "--pairs", "BFS:KRON", "--variants", "CDP",
+                "--scale", "0.08", "--no-cache", "--jobs", "2",
+                "--backend", backend]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "backend=%s" % backend in err
+
+    def test_backends_bit_identical(self, capsys):
+        args = ["sweep", "--pairs", "BFS:KRON", "--variants", "CDP", "CDP+T",
+                "--threshold", "16", "--scale", "0.08", "--no-cache",
+                "--json"]
+        outputs = set()
+        for backend in ("serial", "process", "thread"):
+            assert main(args + ["--jobs", "2", "--backend", backend]) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_backend_alone_forces_executor(self, capsys):
+        # --backend without --jobs/--cache-dir must still route through
+        # the sweep engine on `figure` (serial executor, no cache).
+        assert main(["figure", "fig11", "--benchmark", "BFS",
+                     "--dataset", "KRON", "--scale", "0.08", "--no-cache",
+                     "--backend", "serial"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _fill(self, cache):
+        return main(["sweep", "--pairs", "BFS:KRON", "--variants", "CDP",
+                     "--scale", "0.08", "--cache-dir", cache])
+
+    def test_info_reports_entries(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert self._fill(cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "result entries :      1" in out
+        assert cache in out
+
+    def test_prune_bounds_entries_and_sweeps_tmp(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["sweep", "--pairs", "BFS:KRON", "--variants",
+                     "CDP", "CDP+T", "--threshold", "16", "--scale", "0.08",
+                     "--cache-dir", str(cache)]) == 0
+        (cache / "stranded.tmp").write_text("x")
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", str(cache),
+                     "--max-entries", "1", "--tmp-age", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entries" in out
+        assert "swept 1 stale .tmp" in out
+        assert not (cache / "stranded.tmp").exists()
+
+    def test_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert self._fill(cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "cleared 1 files" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        assert "result entries :      0" in capsys.readouterr().out
+
+    def test_missing_cache_dir(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "info", "--cache-dir", missing]) == 0
+        assert main(["cache", "clear", "--cache-dir", missing]) == 2
+
+
+class TestFigureArtifactCLI:
+    def test_warm_figure_hits_artifact_cache(self, tmp_path, capsys,
+                                             monkeypatch):
+        cache = str(tmp_path / "cache")
+        args = ["figure", "fig11", "--benchmark", "BFS", "--dataset",
+                "KRON", "--scale", "0.08", "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        import repro.harness.figures as figures_mod
+
+        def banned(*a, **k):
+            raise AssertionError("simulated on a warm figure run")
+
+        monkeypatch.setattr(figures_mod, "run_variant", banned)
+        assert main(args) == 0
+        assert capsys.readouterr().out == cold
+
+
 class TestMetaRoundtrip:
     def test_meta_dict_roundtrip_runs(self):
         """A meta serialized to JSON and back still drives the runtime."""

@@ -3,8 +3,8 @@ and produces the paper's qualitative relationships."""
 
 import pytest
 
-from repro.harness import (figure9, figure10, figure11, figure12,
-                           fixed_threshold_study, table1)
+from repro.harness import (SpeedupFigure, figure9, figure10, figure11,
+                           figure12, fixed_threshold_study, table1)
 
 SCALE = 0.1
 TINY_PAIRS = (("BFS", "KRON"), ("SP", "RAND-3"))
@@ -57,6 +57,20 @@ class TestFigure9:
         key = ("BFS", "KRON", "CDP+T+C+A")
         assert key in fig9.best_params
         assert fig9.best_params[key].threshold is not None
+
+
+class TestGeomeanLabels:
+    def test_union_across_rows(self):
+        """Regression: labels only read from the first pair's row, so a
+        label present elsewhere vanished from the geomean table."""
+        fig = SpeedupFigure(
+            "t", [("A", "x"), ("B", "y")],
+            {("A", "x"): {"CDP": 1.0},
+             ("B", "y"): {"CDP": 1.0, "CDP+T": 2.0}})
+        gm = fig.geomeans()
+        assert gm["CDP+T"] == pytest.approx(2.0)
+        assert gm["CDP"] == pytest.approx(1.0)
+        assert "CDP+T" in fig.format()
 
 
 class TestFigure10:

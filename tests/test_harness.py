@@ -173,6 +173,25 @@ class TestTuning:
         uncapped = threshold_candidates(bench, data, cap_to_largest=False)
         assert uncapped[-1] > capped[-1]
 
+    def test_uncapped_is_capped_plus_exactly_one(self, bfs_setup):
+        """Regression: uncapped used to discard the constructed list and
+        return the entire FULL_THRESHOLDS axis, inflating Fig. 12 sweeps."""
+        bench, data = bfs_setup
+        capped = threshold_candidates(bench, data)
+        uncapped = threshold_candidates(bench, data, cap_to_largest=False)
+        largest = max(child_launch_sizes(bench, data))
+        assert uncapped[:-1] == capped
+        assert sum(1 for t in uncapped if t > largest) == 1
+
+    def test_uncapped_respects_coarse(self, bfs_setup):
+        bench, data = bfs_setup
+        coarse = threshold_candidates(bench, data, coarse=True)
+        uncapped = threshold_candidates(bench, data, coarse=True,
+                                        cap_to_largest=False)
+        largest = max(child_launch_sizes(bench, data))
+        assert uncapped[:-1] == coarse
+        assert uncapped[-1] > largest
+
     def test_tune_picks_minimum(self, bfs_setup):
         bench, data = bfs_setup
         outcome = tune(bench, data, "CDP+T", strategy="guided")

@@ -88,7 +88,35 @@ def test_simulation_is_deterministic(trace):
 
 @given(random_traces(), st.integers(1, 4))
 @settings(max_examples=40, deadline=None)
-def test_more_sms_never_slower(trace, extra):
+def test_more_sms_never_much_slower(trace, extra):
+    """More SMs can be *marginally* slower: block placement is greedy
+    FIFO with a free-thread tie-break, so extra SMs can co-locate the
+    slowest blocks on one shared pipeline (Graham's scheduling anomaly —
+    list scheduling has no monotonicity guarantee). The anomaly is
+    bounded by the greedy factor; it can never double the makespan."""
     small = simulate(trace, DeviceConfig(num_sms=2))
     large = simulate(trace, DeviceConfig(num_sms=2 + extra))
-    assert large.total_time <= small.total_time
+    assert large.total_time <= 2 * small.total_time
+
+
+def test_more_sms_anomaly_regression():
+    """The minimal hypothesis-found anomaly: one grid of four blocks
+    costing [2, 1, 1, 2]. Two SMs pair them [2,1]/[1,2]; three SMs place
+    the fourth block back on SM0, serializing [2,2] on one pipeline and
+    finishing one cycle later. The anomaly must stay bounded."""
+    def make_trace():
+        trace = Trace()
+        parent = trace.new_grid("p", 0, 32)
+        parent.grid_dim = 4
+        for cycles in (2, 1, 1, 2):
+            parent.blocks.append(BlockCost(cycles, cycles))
+        parent.launch = LaunchRecord(kind=HOST, grid=parent)
+        trace.host_events.append(("launch", parent))
+        trace.host_events.append(("sync",))
+        return trace
+
+    small = simulate(make_trace(), DeviceConfig(num_sms=2))
+    large = simulate(make_trace(), DeviceConfig(num_sms=3))
+    assert large.total_time <= 2 * small.total_time
+    # The slowdown exists (this documents the anomaly) but is tiny.
+    assert 0 <= large.total_time - small.total_time <= 1

@@ -1,15 +1,20 @@
-"""Sweep engine tests: serial/parallel equivalence, cache behavior,
-corruption recovery, and executor-routed tuning."""
+"""Sweep engine tests: serial/parallel equivalence across every backend,
+per-point error attribution, cache behavior, corruption recovery, and
+executor-routed tuning."""
 
 import json
+import multiprocessing
 import os
 
 import pytest
 
 from repro.benchmarks import get_benchmark
-from repro.harness import (ResultCache, RunResult, SweepExecutor, SweepPoint,
-                           TuningParams, point_key, quick_tune, run_sweep,
-                           run_variant, sweep_grid, tune)
+from repro.harness import (BACKENDS, PointFailure, ResultCache, RunResult,
+                           SweepExecutor, SweepPoint, SweepPointError,
+                           TuningParams, figure11, figure12, point_key,
+                           quick_tune, run_sweep, run_variant, sweep_grid,
+                           tune)
+from repro.harness import figures as figures_mod
 from repro.harness import sweep as sweep_mod
 from repro.sim.config import DeviceConfig
 
@@ -52,6 +57,191 @@ class TestSerialParallelEquivalence:
                                    cache_dir=str(tmp_path / "cache"))
         assert results == serial_results
         assert stats.simulated == len(serial_results)
+
+
+class TestBackends:
+    def test_default_backend_tracks_jobs(self):
+        assert SweepExecutor(jobs=1).backend.name == "serial"
+        assert SweepExecutor(jobs=4).backend.name == "process"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            SweepExecutor(jobs=2, backend="quantum")
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            SweepExecutor(on_error="ignore")
+        with pytest.raises(ValueError, match="on_error"):
+            SweepExecutor().run([], on_error="Raise")
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_backend_parity(self, serial_results, backend):
+        with SweepExecutor(jobs=3, backend=backend) as executor:
+            assert executor.backend.name == backend
+            assert executor.run(small_grid()) == serial_results
+
+    def test_chunked_submission_preserves_order(self, serial_results):
+        with SweepExecutor(jobs=2, backend="thread",
+                           chunk_size=2) as executor:
+            assert executor.run(small_grid()) == serial_results
+
+    def test_run_sweep_accepts_backend(self, serial_results):
+        results, stats = run_sweep(small_grid(), jobs=2, backend="thread")
+        assert results == serial_results
+        assert stats.simulated == len(serial_results)
+
+
+_REAL_SIMULATE = sweep_mod._simulate_point
+
+
+def _fail_cdp(point):
+    """Patched simulator: dies on every plain-CDP point."""
+    if point.label == "CDP":
+        raise ValueError("injected failure")
+    return _REAL_SIMULATE(point)
+
+
+class TestErrorAttribution:
+    @pytest.mark.parametrize("backend", (
+        "serial", "thread",
+        # Pool workers only see the monkeypatched simulator via fork.
+        pytest.param("process", marks=pytest.mark.skipif(
+            "fork" not in multiprocessing.get_all_start_methods(),
+            reason="needs fork to inherit the patched simulator")),
+    ))
+    def test_failure_names_the_point(self, monkeypatch, backend):
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        with SweepExecutor(jobs=2, backend=backend) as executor:
+            with pytest.raises(SweepPointError) as exc_info:
+                executor.run(small_grid())
+        error = exc_info.value
+        assert error.point.label == "CDP"
+        assert error.point.describe() in str(error)
+        assert "injected failure" in str(error)
+        assert error.error == "ValueError"
+
+    def test_continue_past_failures(self, monkeypatch, serial_results):
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        executor = SweepExecutor(on_error="continue")
+        results = executor.run(small_grid())
+        assert len(results) == len(serial_results)
+        for result, expected, point in zip(results, serial_results,
+                                           small_grid()):
+            if point.label == "CDP":
+                assert isinstance(result, PointFailure)
+                assert result.point == point
+                assert "injected failure" in result.describe()
+                assert isinstance(result.to_error(), SweepPointError)
+            else:
+                assert result == expected
+        assert executor.stats.failed == 2
+
+    def test_stats_buckets_partition_points(self, monkeypatch,
+                                            serial_results, tmp_path):
+        """hits + simulated + failed must equal points (failures used to
+        be double-counted into simulated)."""
+        cache_dir = str(tmp_path / "cache")
+        SweepExecutor(cache=cache_dir).run(small_grid()[:1])  # one No-CDP hit
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        executor = SweepExecutor(cache=cache_dir, on_error="continue")
+        executor.run(small_grid())
+        stats = executor.stats
+        assert (stats.points, stats.hits, stats.simulated,
+                stats.failed) == (6, 1, 3, 2)
+
+    def test_figures_and_tuners_force_raise(self, monkeypatch):
+        """A continue-mode executor must not leak PointFailure objects
+        into figure/tuner result handling — those paths force a raise
+        that still names the failed point."""
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        bench = get_benchmark("BFS")
+        data = bench.build_dataset("KRON", SCALE)
+        executor = SweepExecutor(on_error="continue")
+        with pytest.raises(SweepPointError, match="BFS/KRON CDP"):
+            figures_mod._run_point(bench, data, "CDP", None, None,
+                                   executor, SCALE)
+        with pytest.raises(SweepPointError):
+            tune(bench, data, "CDP", strategy="guided",
+                 executor=executor, scale=SCALE)
+
+    def test_dataset_memo_eviction_is_thread_safe(self, monkeypatch,
+                                                  serial_results):
+        """Thread backend shares the dataset memo; a tiny memo limit
+        forces constant concurrent eviction, which must never corrupt
+        results or raise."""
+        monkeypatch.setattr(sweep_mod, "_DATASET_MEMO_LIMIT", 1)
+        monkeypatch.setattr(sweep_mod, "_DATASET_MEMO", {})
+        with SweepExecutor(jobs=4, backend="thread",
+                           chunk_size=1) as executor:
+            assert executor.run(small_grid() * 3) \
+                == serial_results * 3
+
+    def test_run_level_override(self, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        executor = SweepExecutor()     # default on_error="raise"
+        results = executor.run(small_grid(), on_error="continue")
+        assert sum(isinstance(r, PointFailure) for r in results) == 2
+
+    def test_successes_cached_even_when_raising(self, monkeypatch,
+                                                tmp_path):
+        """One failed point must not throw away the rest of the batch's
+        simulations: successes are stored before the error is raised."""
+        cache_dir = str(tmp_path / "cache")
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        with pytest.raises(SweepPointError):
+            SweepExecutor(cache=cache_dir).run(small_grid())
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _REAL_SIMULATE)
+        healed = SweepExecutor(cache=cache_dir)
+        healed.run(small_grid())
+        assert healed.stats.simulated == 2      # only the failed points
+        assert healed.stats.hits == 4
+
+    def test_failed_points_are_not_cached(self, monkeypatch, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _fail_cdp)
+        broken = SweepExecutor(cache=cache_dir, on_error="continue")
+        broken.run(small_grid())
+        assert broken.stats.failed == 2
+        monkeypatch.setattr(sweep_mod, "_simulate_point", _REAL_SIMULATE)
+        # The failed points must re-simulate — only successes were stored.
+        healed = SweepExecutor(cache=cache_dir)
+        healed.run(small_grid())
+        assert healed.stats.simulated == 2
+        assert healed.stats.hits == 4
+        assert healed.stats.failed == 0
+
+
+class TestFigureParityAcrossBackends:
+    """figure11/figure12 on a tiny grid: every backend must reproduce the
+    serial figures bit-for-bit."""
+
+    TINY = 0.05
+
+    @pytest.fixture(scope="class")
+    def fig11_serial(self):
+        return figure11("BFS", "KRON", scale=self.TINY)
+
+    @pytest.fixture(scope="class")
+    def fig12_tiny(self):
+        patcher = pytest.MonkeyPatch()
+        patcher.setattr(figures_mod, "FIG12_BENCHMARKS", ("BFS",))
+        yield figure12(scale=self.TINY)
+        patcher.undo()
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_figure11_parity(self, fig11_serial, backend):
+        with SweepExecutor(jobs=2, backend=backend) as executor:
+            fig = figure11("BFS", "KRON", scale=self.TINY,
+                           executor=executor)
+        assert fig.series == fig11_serial.series
+        assert fig.thresholds == fig11_serial.thresholds
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_figure12_parity(self, fig12_tiny, backend):
+        with SweepExecutor(jobs=2, backend=backend) as executor:
+            fig = figure12(scale=self.TINY, executor=executor)
+        assert fig.speedups == fig12_tiny.speedups
+        assert fig.best_params == fig12_tiny.best_params
 
 
 class TestResultCache:
