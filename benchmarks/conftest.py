@@ -22,9 +22,14 @@ def pytest_addoption(parser):
                      help="worker processes for the sweep engine "
                           "(1 = in-process serial)")
     parser.addoption("--repro-backend", action="store", default=None,
-                     help="sweep backend: serial, process, thread, or "
-                          "futures (default: serial for --repro-jobs 1, "
-                          "process otherwise)")
+                     help="sweep backend: serial, process, thread, "
+                          "futures, or remote (default: serial for "
+                          "--repro-jobs 1, process otherwise; remote "
+                          "needs --repro-workers)")
+    parser.addoption("--repro-workers", action="store", default=None,
+                     help="remote worker daemons (HOST:PORT,...) to shard "
+                          "the figure grids across; implies the remote "
+                          "backend (start them with 'repro worker serve')")
     parser.addoption("--repro-cache", action="store", default=None,
                      help="persistent sweep result-cache directory; unset "
                           "disables caching")
@@ -40,10 +45,11 @@ def sweep_executor(request):
     """The shared sweep engine the benches route their run grids through.
 
     ``--repro-jobs N`` parallelizes, ``--repro-backend`` picks the
-    execution backend (serial/process/thread/futures), ``--repro-cache
-    DIR`` makes re-runs skip already-simulated points. With no flag this
-    is None: the
-    figure benches then take the historical serial path, which also
+    execution backend (serial/process/thread/futures/remote),
+    ``--repro-workers HOST:PORT,...`` shards the grids across remote
+    worker daemons, and ``--repro-cache DIR`` makes re-runs skip
+    already-simulated points. With no flag this is None: the figure
+    benches then take the historical serial path, which also
     cross-checks every simulated point's outputs against the No-CDP
     reference (executor workers return timings only).
     """
@@ -52,11 +58,12 @@ def sweep_executor(request):
     cache_dir = request.config.getoption("--repro-cache")
     jobs = request.config.getoption("--repro-jobs")
     backend = request.config.getoption("--repro-backend")
-    if jobs <= 1 and not cache_dir and backend is None:
+    workers = request.config.getoption("--repro-workers")
+    if jobs <= 1 and not cache_dir and backend is None and not workers:
         yield None
         return
     executor = SweepExecutor(
-        jobs=jobs, backend=backend,
+        jobs=jobs, backend=backend, workers=workers,
         cache=ResultCache(cache_dir) if cache_dir else None)
     yield executor
     executor.close()

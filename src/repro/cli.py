@@ -2,7 +2,9 @@
 
 Mirrors the paper's artifact workflow (Appendix E): transform CUDA sources,
 inspect the analyses, run benchmark variants, and regenerate the evaluation
-figures.
+figures. ``docs/reproducing.md`` lists the exact command per table/figure;
+``docs/sweep-engine.md`` documents the sweep backends, the cache lifecycle,
+and the remote worker protocol.
 
 Usage::
 
@@ -13,6 +15,9 @@ Usage::
     python -m repro figure fig9 --scale 0.25
     python -m repro sweep --pairs BFS:KRON SSSP:KRON --variants CDP CDP+T \\
         --threshold 32 --jobs 4 --backend process --cache-dir .repro-cache
+    python -m repro worker serve --port 7070            # on each machine
+    python -m repro sweep --grid fig9 --backend remote \\
+        --workers hostA:7070,hostB:7070
     python -m repro cache info --cache-dir .repro-cache
     python -m repro cache prune --cache-dir .repro-cache --max-bytes 1000000
 """
@@ -25,6 +30,7 @@ import time
 
 from .analysis import analyze_program, find_launch_sites, find_thread_count
 from .benchmarks import FIG9_PAIRS, FIG12_BENCHMARKS, get_benchmark
+from .errors import ReproError
 from .harness import (BACKENDS, VARIANT_LABELS, FigureArtifactCache,
                       PointFailure, ResultCache, SweepExecutor, TuningParams,
                       figure9, figure10, figure11, figure12,
@@ -158,7 +164,18 @@ def _add_sweep_flags(parser, default_cache=None):
                         help="worker processes for the sweep engine")
     parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
                         help="sweep execution backend (default: serial for "
-                             "--jobs 1, process otherwise)")
+                             "--jobs 1, process otherwise; remote needs "
+                             "--workers)")
+    parser.add_argument("--workers", default=None,
+                        metavar="HOST:PORT[,HOST:PORT...]",
+                        help="remote worker daemons to shard the sweep "
+                             "across (implies --backend remote; start them "
+                             "with 'repro worker serve')")
+    parser.add_argument("--worker-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="seconds to wait for a remote worker's chunk "
+                             "before declaring it dead and reassigning "
+                             "(default 300)")
     parser.add_argument("--cache-dir", default=default_cache,
                         help="persistent result-cache directory")
     parser.add_argument("--no-cache", action="store_true",
@@ -166,15 +183,26 @@ def _add_sweep_flags(parser, default_cache=None):
 
 
 def _executor_from(args, force=False, on_error="raise"):
-    """Build a SweepExecutor from --jobs/--backend/--cache-dir/--no-cache,
-    or None when the flags ask for plain serial, uncached execution."""
+    """Build a SweepExecutor from the --jobs/--backend/--workers/
+    --cache-dir/--no-cache flags, or None when they ask for plain serial,
+    uncached execution. Flag conflicts (validated by
+    :func:`repro.harness.sweep.make_backend`) exit 2."""
     cache_dir = None if args.no_cache else args.cache_dir
+    workers = getattr(args, "workers", None)
+    worker_timeout = getattr(args, "worker_timeout", None)
     if (not force and args.jobs <= 1 and cache_dir is None
-            and args.backend is None):
+            and args.backend is None and not workers
+            and worker_timeout is None):
         return None
-    return SweepExecutor(jobs=args.jobs, backend=args.backend,
-                         cache=ResultCache(cache_dir) if cache_dir else None,
-                         on_error=on_error)
+    try:
+        return SweepExecutor(jobs=args.jobs, backend=args.backend,
+                             workers=workers,
+                             worker_timeout=worker_timeout,
+                             cache=ResultCache(cache_dir) if cache_dir
+                             else None, on_error=on_error)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        raise SystemExit(2)
 
 
 def cmd_figure(args):
@@ -269,15 +297,74 @@ def cmd_sweep(args):
         for row in rows:
             print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     stats = executor.stats
+    if executor.backend.name == "remote":
+        pool = "workers=%d" % len(executor.backend.addresses)
+    else:
+        pool = "jobs=%d" % executor.jobs
     print("%d points: %d cached, %d simulated, %d failed "
-          "(backend=%s, jobs=%d, %.2fs)%s"
+          "(backend=%s, %s, %.2fs)%s"
           % (stats.points, stats.hits, stats.simulated, stats.failed,
-             executor.backend.name, executor.jobs, elapsed,
+             executor.backend.name, pool, elapsed,
              "" if executor.cache is None else ", cache: %s" % args.cache_dir),
           file=sys.stderr)
     for failure in failures:
         print("failed: %s" % failure.describe(), file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_worker(args):
+    from .harness.remote import (RemoteError, WorkerServer, parse_workers,
+                                 worker_ping, worker_stop)
+
+    if args.worker_command == "serve":
+        try:
+            server = WorkerServer(host=args.host, port=args.port,
+                                  jobs=args.jobs, quiet=False)
+        except (OSError, OverflowError) as exc:
+            print("cannot bind %s:%d: %s" % (args.host, args.port, exc),
+                  file=sys.stderr)
+            return 1
+        host, port = server.address
+        print("repro worker listening on %s:%d (jobs=%d)"
+              % (host, port, args.jobs), flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+    try:
+        addresses = parse_workers(args.address)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if len(addresses) != 1:
+        print("worker %s takes exactly one HOST:PORT, got %d addresses"
+              % (args.worker_command, len(addresses)), file=sys.stderr)
+        return 2
+    address, = addresses
+    try:
+        if args.worker_command == "ping":
+            pong = worker_ping(address, timeout=args.timeout)
+            print("worker %s:%d alive: protocol %s, cache v%s, code %s, "
+                  "jobs=%s, %s points served"
+                  % (address[0], address[1], pong.get("protocol"),
+                     pong.get("cache_version"), pong.get("code_version"),
+                     pong.get("jobs"), pong.get("points_served")))
+        else:
+            worker_stop(address, timeout=args.timeout)
+            print("stopped worker %s:%d" % address)
+    except RemoteError as exc:
+        # Reachable but incompatible/garbled (e.g. version skew) — the
+        # exact condition ping exists to surface; don't call it dead.
+        print(exc, file=sys.stderr)
+        return 1
+    except (OSError, ReproError) as exc:
+        print("worker %s:%d unreachable: %s" % (address[0], address[1], exc),
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_cache(args):
@@ -331,7 +418,10 @@ def build_parser():
     p_bench.set_defaults(func=cmd_bench)
 
     p_figure = sub.add_parser(
-        "figure", help="regenerate a table/figure of the evaluation")
+        "figure", help="regenerate a table/figure of the evaluation "
+                       "(accepts the sweep engine's --jobs/--backend/"
+                       "--workers/--cache-dir flags; warm runs are "
+                       "near-instant)")
     p_figure.add_argument("name", choices=sorted(_FIGURES))
     p_figure.add_argument("--scale", type=float, default=0.25)
     p_figure.add_argument("--strategy", choices=("guided", "exhaustive"),
@@ -346,7 +436,9 @@ def build_parser():
 
     p_sweep = sub.add_parser(
         "sweep", help="run a (pairs x variants) grid through the parallel "
-                      "sweep engine with a persistent result cache")
+                      "sweep engine with a persistent result cache "
+                      "(--backend serial|process|thread|futures|remote, "
+                      "--keep-going to continue past failed points)")
     p_sweep.add_argument("--grid", choices=sorted(_SWEEP_GRIDS),
                          default="fig9",
                          help="preset benchmark/dataset grid "
@@ -360,24 +452,58 @@ def build_parser():
     p_sweep.add_argument("--json", action="store_true",
                          help="emit results as JSON instead of a table")
     p_sweep.add_argument("--keep-going", action="store_true",
-                         help="continue past failed points and report them "
-                              "at the end instead of aborting the sweep")
+                         help="on_error=continue: run past failed points, "
+                              "report each failure at the end, and exit 1 "
+                              "instead of aborting on the first one (the "
+                              "contract is documented in "
+                              "docs/sweep-engine.md)")
     _add_opt_flags(p_sweep)
     _add_sweep_flags(p_sweep, default_cache=".repro-cache")
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_worker = sub.add_parser(
+        "worker", help="run or manage remote sweep worker daemons "
+                       "(the --backend remote fleet)")
+    wsub = p_worker.add_subparsers(dest="worker_command", required=True)
+    w_serve = wsub.add_parser(
+        "serve", help="serve sweep chunks over TCP until stopped")
+    w_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    w_serve.add_argument("--port", type=int, default=0,
+                         help="port to bind (default 0: pick an ephemeral "
+                              "port and print it)")
+    w_serve.add_argument("--jobs", type=int, default=1,
+                         help="local worker processes per chunk (1 = "
+                              "in-process serial)")
+    w_ping = wsub.add_parser(
+        "ping", help="handshake with a worker and report its versions")
+    w_ping.add_argument("address", metavar="HOST:PORT")
+    w_ping.add_argument("--timeout", type=float, default=10.0)
+    w_stop = wsub.add_parser("stop", help="ask a worker daemon to exit")
+    w_stop.add_argument("address", metavar="HOST:PORT")
+    w_stop.add_argument("--timeout", type=float, default=10.0)
+    p_worker.set_defaults(func=cmd_worker)
+
     p_cache = sub.add_parser(
-        "cache", help="inspect and manage the on-disk sweep/figure cache")
+        "cache", help="inspect and manage the on-disk sweep/figure cache "
+                      "(result entries, figure artifacts, stranded .tmp "
+                      "files)")
     p_cache.add_argument("action", choices=("info", "clear", "prune"))
     p_cache.add_argument("--cache-dir", default=".repro-cache",
                          help="cache directory (default .repro-cache)")
     p_cache.add_argument("--max-entries", type=int, default=None,
-                         help="prune: keep at most this many entries")
+                         metavar="N",
+                         help="prune: keep at most N entries (results + "
+                              "figure artifacts), evicting least-recently-"
+                              "used first")
     p_cache.add_argument("--max-bytes", type=int, default=None,
-                         help="prune: keep at most this many bytes")
+                         metavar="BYTES",
+                         help="prune: keep at most BYTES bytes of entries "
+                              "(e.g. 50000000 for 50 MB)")
     p_cache.add_argument("--tmp-age", type=float, default=None,
-                         help="prune: sweep .tmp files older than this many "
-                              "seconds (default 3600)")
+                         metavar="SECONDS",
+                         help="prune: sweep stranded .tmp files older than "
+                              "SECONDS (default 3600, i.e. one hour)")
     p_cache.set_defaults(func=cmd_cache)
     return parser
 

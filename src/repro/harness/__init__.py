@@ -3,7 +3,8 @@
 from .autotune import (QuickTuneResult, hill_climb, predict_threshold,
                        quick_tune)
 from .cache import (CACHE_VERSION, CacheInfo, FigureArtifactCache,
-                    PruneReport, ResultCache, figure_key, point_key)
+                    PruneReport, ResultCache, decode_result, encode_result,
+                    figure_key, point_key)
 from .figures import (BreakdownFigure, FixedThresholdResult, SpeedupFigure,
                       SweepFigure, Table1Result, figure9, figure10, figure11,
                       figure12, fixed_threshold_study, table1)
@@ -12,6 +13,9 @@ from .runner import (RunResult, child_launch_sizes, geomean, outputs_match,
 from .sweep import (BACKENDS, Backend, PointFailure, SweepExecutor,
                     SweepPoint, SweepPointError, SweepStats, make_backend,
                     run_sweep, sweep_grid)
+from .remote import (RemoteBackend, RemoteError, RemoteHandshakeError,
+                     RemoteProtocolError, RemoteWorkerError, WorkerServer,
+                     parse_workers, worker_ping, worker_stop)
 from .tuning import (FULL_THRESHOLDS, TuneOutcome, threshold_candidates,
                      tune)
 from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
@@ -20,10 +24,14 @@ from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
 __all__ = [
     "QuickTuneResult", "hill_climb", "predict_threshold", "quick_tune",
     "CACHE_VERSION", "CacheInfo", "FigureArtifactCache", "PruneReport",
-    "ResultCache", "figure_key", "point_key",
+    "ResultCache", "decode_result", "encode_result", "figure_key",
+    "point_key",
     "BACKENDS", "Backend", "PointFailure", "SweepExecutor", "SweepPoint",
     "SweepPointError", "SweepStats", "make_backend", "run_sweep",
     "sweep_grid",
+    "RemoteBackend", "RemoteError", "RemoteHandshakeError",
+    "RemoteProtocolError", "RemoteWorkerError", "WorkerServer",
+    "parse_workers", "worker_ping", "worker_stop",
     "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
     "Table1Result", "figure9", "figure10", "figure11", "figure12",
     "fixed_threshold_study", "table1",

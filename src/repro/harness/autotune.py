@@ -64,8 +64,15 @@ def quick_tune(bench, data, label="CDP+T+C+A", device_config=None,
     Fixes the coarsening factor at 8 (observation 2), predicts the threshold
     from the launch-size distribution (observation 1), and tries the
     non-warp granularities (observation 3) around the predicted threshold.
-    With an *executor* and dataset *scale* the candidate grid runs through
-    the sweep engine (parallel, cacheable) instead of serially.
+
+    :param keep_fraction: passed to :func:`predict_threshold`.
+    :param executor: optional
+        :class:`~repro.harness.sweep.SweepExecutor`; with the dataset
+        *scale* the candidate grid runs through the sweep engine
+        (parallel, cacheable, shardable) instead of serially. Point
+        failures raise :class:`~repro.harness.sweep.SweepPointError`.
+    :returns: a :class:`QuickTuneResult` (best params, best time, run
+        count, and every point evaluated).
     """
     threshold = predict_threshold(bench, data, keep_fraction) \
         if uses(label, "T") else None
@@ -113,9 +120,18 @@ def hill_climb(bench, data, label="CDP+T+C+A", start=None, budget=24,
     Moves one parameter at a time to its neighboring value (threshold and
     coarsening factor by powers of two; granularity across the non-warp
     options) and keeps improvements, until the run budget is exhausted or a
-    local optimum is reached. An *executor* (with *scale*) makes each
-    evaluation cacheable across invocations; the search itself stays
-    sequential because each step depends on the previous one.
+    local optimum is reached.
+
+    :param start: starting :class:`~repro.harness.variants.TuningParams`
+        (default: :func:`quick_tune`'s best).
+    :param budget: maximum distinct parameter points to evaluate.
+    :param executor: optional
+        :class:`~repro.harness.sweep.SweepExecutor`; with *scale* it
+        makes each evaluation cacheable across invocations. The search
+        itself stays sequential because each step depends on the
+        previous one.
+    :returns: a :class:`QuickTuneResult`; ``evaluated`` is sorted
+        best-first.
     """
     if start is None:
         start = quick_tune(bench, data, label, device_config=device_config,

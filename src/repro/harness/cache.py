@@ -54,8 +54,38 @@ def _hash_spec(spec):
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def encode_result(result):
+    """JSON-able payload for one :class:`~repro.harness.runner.RunResult`.
+
+    The single serialized form shared by the on-disk cache and the remote
+    backend's wire protocol; drops raw ``outputs`` arrays (workers and
+    cache entries carry timings only). Invert with :func:`decode_result`.
+    """
+    return result.to_dict()
+
+
+def decode_result(payload):
+    """Rebuild a :class:`~repro.harness.runner.RunResult` from
+    :func:`encode_result`'s payload.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    payloads — callers treat that as corruption (cache) or protocol
+    garbage (remote).
+    """
+    return RunResult.from_dict(payload)
+
+
 def point_key(point):
-    """Stable content hash for one sweep point (hex SHA-256)."""
+    """Stable content hash for one sweep point (hex SHA-256).
+
+    Covers the full point spec plus the code version, so any semantic
+    change lands on a fresh key.
+
+    >>> from repro.harness.sweep import SweepPoint
+    >>> key = point_key(SweepPoint("BFS", "KRON"))
+    >>> len(key), key == point_key(SweepPoint("BFS", "KRON"))
+    (64, True)
+    """
     spec = {"cache_version": CACHE_VERSION, "code_version": __version__}
     spec.update(point.spec())
     return _hash_spec(spec)
@@ -153,12 +183,14 @@ class ResultCache:
         return os.path.join(self.cache_dir, "figures")
 
     def get(self, point):
-        """Cached RunResult for *point*, or None on miss/corruption."""
+        """Cached :class:`~repro.harness.runner.RunResult` for *point*,
+        or None on miss or corruption (corrupted entries are dropped so
+        the point re-simulates)."""
         path = self._path(point_key(point))
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-            result = RunResult.from_dict(payload["result"])
+            result = decode_result(payload["result"])
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -172,11 +204,15 @@ class ResultCache:
         return result
 
     def put(self, point, result):
-        """Store *result* for *point* (atomic; ignores results that carry
-        raw output arrays)."""
+        """Store *result* for *point*; returns True when stored.
+
+        Atomic (``mkstemp`` + ``os.replace``); results carrying raw
+        output arrays are ignored (returns False) — see the module
+        docstring.
+        """
         if result.outputs is not None:
             return False
-        payload = {"spec": point.spec(), "result": result.to_dict()}
+        payload = {"spec": point.spec(), "result": encode_result(result)}
         path = self._path(point_key(point))
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:

@@ -27,6 +27,7 @@ class RunResult:
     outputs: Optional[dict] = None
 
     def speedup_over(self, other):
+        """Speedup of this run relative to *other* (>1 means faster)."""
         return other.total_time / max(self.total_time, 1)
 
     def to_dict(self):
@@ -88,10 +89,22 @@ def outputs_match(a, b, rtol=1e-9):
 
 def run_variant(bench, data, label, params=None, device_config=None,
                 keep_outputs=False, check_against=None):
-    """Execute one variant; returns a :class:`RunResult`.
+    """Compile, execute, and time one benchmark variant.
 
-    If *check_against* (a reference outputs dict) is given, raises on any
-    output mismatch — the transformations must never change results.
+    :param bench: a benchmark object (see ``repro.benchmarks``).
+    :param data: a dataset built by ``bench.build_dataset``.
+    :param label: variant label from
+        :data:`~repro.harness.variants.VARIANT_LABELS`.
+    :param params: :class:`~repro.harness.variants.TuningParams`
+        (default: all optimizations off).
+    :param device_config: simulated GPU
+        (:class:`~repro.sim.config.DeviceConfig`).
+    :param keep_outputs: attach the raw driver outputs to the result
+        (such results are never cached).
+    :param check_against: reference outputs dict; raises
+        :class:`~repro.errors.ReproError` on any mismatch — the
+        transformations must never change results.
+    :returns: a :class:`RunResult`.
     """
     params = params or TuningParams()
     device_config = device_config or DeviceConfig()
@@ -119,7 +132,14 @@ def run_variant(bench, data, label, params=None, device_config=None,
 
 
 def geomean(values):
-    """Geometric mean of positive numbers (the paper's summary statistic)."""
+    """Geometric mean of the positive entries of *values* (the paper's
+    summary statistic); 0.0 when none are positive.
+
+    >>> round(geomean([2.0, 8.0]), 9)
+    4.0
+    >>> geomean([])
+    0.0
+    """
     values = [v for v in values if v > 0]
     if not values:
         return 0.0

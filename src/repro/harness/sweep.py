@@ -16,7 +16,10 @@ CLI):
 * ``thread`` — a ``concurrent.futures.ThreadPoolExecutor``; the simulator
   is GIL-bound pure Python so this rarely speeds anything up, but it
   shares the in-process dataset memo and needs no pickling;
-* ``futures`` — a ``concurrent.futures.ProcessPoolExecutor``.
+* ``futures`` — a ``concurrent.futures.ProcessPoolExecutor``;
+* ``remote`` — shard chunks over ``repro worker serve`` daemons on other
+  machines (:mod:`repro.harness.remote`; needs ``workers=`` /
+  ``--workers``).
 
 Work is submitted in chunks (``chunk_size=``, auto-sized by default) and
 every worker failure is attributed to the point that died: the raised
@@ -66,7 +69,8 @@ class SweepPoint:
     scale: float = 0.25
 
     def spec(self):
-        """Canonical JSON-able description (the cache key input)."""
+        """Canonical JSON-able description (the cache key input and the
+        remote backend's wire form; invert with :meth:`from_spec`)."""
         return {
             "benchmark": self.benchmark,
             "dataset": self.dataset,
@@ -76,7 +80,28 @@ class SweepPoint:
             "scale": repr(float(self.scale)),
         }
 
+    @classmethod
+    def from_spec(cls, spec):
+        """Rebuild a point from a :meth:`spec` payload (exact roundtrip).
+
+        >>> point = SweepPoint("BFS", "KRON", "CDP+T",
+        ...                    TuningParams(threshold=16))
+        >>> SweepPoint.from_spec(point.spec()) == point
+        True
+        """
+        return cls(benchmark=spec["benchmark"], dataset=spec["dataset"],
+                   label=spec["label"],
+                   params=TuningParams(**spec["params"]),
+                   device_config=DeviceConfig(**spec["device_config"]),
+                   scale=float(spec["scale"]))
+
     def describe(self):
+        """Human-readable one-liner used in failure attribution.
+
+        >>> SweepPoint("BFS", "KRON", "CDP+T",
+        ...            TuningParams(threshold=16)).describe()
+        'BFS/KRON CDP+T [T=16] @0.25'
+        """
         return "%s/%s %s [%s] @%g" % (self.benchmark, self.dataset,
                                       self.label, self.params.describe(),
                                       self.scale)
@@ -91,6 +116,11 @@ def sweep_grid(pairs, labels, scale=0.25, params=None, params_for=None,
     label by :func:`~repro.harness.variants.mask_params` (so e.g. a plain
     CDP point keys and displays identically whatever threshold or group
     size the grid carries).
+
+    >>> points = sweep_grid([("BFS", "KRON")], ["CDP", "CDP+T"],
+    ...                     params=TuningParams(threshold=16))
+    >>> [p.describe() for p in points]
+    ['BFS/KRON CDP [-] @0.25', 'BFS/KRON CDP+T [T=16] @0.25']
     """
     device_config = device_config or DeviceConfig()
     params = params or TuningParams()
@@ -313,21 +343,56 @@ class FuturesBackend(_FuturesBackend):
                                   mp_context=_pool_context())
 
 
+#: Registry of backend names; ``repro.harness.remote`` adds ``remote`` when
+#: it is imported (the ``repro.harness`` package always imports it).
 BACKENDS = {cls.name: cls for cls in
             (SerialBackend, ProcessBackend, ThreadBackend, FuturesBackend)}
 
 
-def make_backend(backend, jobs=1, chunk_size=None):
-    """Resolve a backend name (or pass through an instance)."""
+def make_backend(backend, jobs=1, chunk_size=None, workers=None,
+                 worker_timeout=None):
+    """Resolve a backend name (or pass through an instance).
+
+    *workers* (host:port addresses) selects and configures the ``remote``
+    backend, and *worker_timeout* bounds its per-chunk wait; giving
+    either together with a different explicit *backend* name is an
+    error. With ``backend=None`` the default is ``serial`` for
+    ``jobs <= 1``, ``process`` otherwise, and ``remote`` whenever
+    *workers* is set.
+    """
     if isinstance(backend, Backend):
+        if workers or worker_timeout is not None:
+            raise ValueError("workers/worker_timeout only apply when the "
+                             "backend is given by name; configure the "
+                             "%s instance directly instead"
+                             % type(backend).__name__)
         return backend
     if backend is None:
-        backend = "serial" if jobs <= 1 else "process"
+        if workers:
+            backend = "remote"
+        else:
+            backend = "serial" if jobs <= 1 else "process"
     try:
         cls = BACKENDS[backend]
     except KeyError:
         raise ValueError("unknown sweep backend %r (have %s)"
                          % (backend, ", ".join(sorted(BACKENDS))))
+    if backend == "remote":
+        if not workers:
+            raise ValueError("the remote backend needs worker addresses "
+                             "(workers=[...] / --workers HOST:PORT,...); "
+                             "start daemons with 'repro worker serve'")
+        if jobs > 1:
+            raise ValueError("jobs only applies to the local pool "
+                             "backends; remote parallelism is one chunk "
+                             "per worker, and worker-side parallelism is "
+                             "set by 'repro worker serve --jobs'")
+        kwargs = {} if worker_timeout is None else {"timeout": worker_timeout}
+        return cls(workers, chunk_size=chunk_size, **kwargs)
+    if workers or worker_timeout is not None:
+        raise ValueError("worker addresses/timeouts only apply to the "
+                         "remote backend (--backend remote), not %r"
+                         % (backend,))
     return cls(jobs=jobs, chunk_size=chunk_size)
 
 
@@ -356,13 +421,14 @@ class SweepExecutor:
     touches the simulator or spawns a pool.
 
     ``backend`` is a name from :data:`BACKENDS` (``serial``, ``process``,
-    ``thread``, ``futures``) or an instance; unset, it is ``serial`` for
-    ``jobs <= 1`` and ``process`` otherwise. Pool-backed backends are
-    created lazily on the first miss batch and reused across ``run``
-    calls, so multi-grid drivers (figures, tuners) keep their workers —
-    and the workers' dataset memos — alive. Call :meth:`close` (or use
-    the executor as a context manager) to release the workers early;
-    otherwise they end with the process.
+    ``thread``, ``futures``, ``remote``) or an instance; unset, it is
+    ``serial`` for ``jobs <= 1``, ``process`` otherwise, and ``remote``
+    when ``workers=`` (host:port worker-daemon addresses) is given.
+    Pool-backed backends are created lazily on the first miss batch and
+    reused across ``run`` calls, so multi-grid drivers (figures, tuners)
+    keep their workers — and the workers' dataset memos — alive. Call
+    :meth:`close` (or use the executor as a context manager) to release
+    the workers early; otherwise they end with the process.
 
     A worker failure raises :class:`SweepPointError` naming the point that
     died (``on_error="raise"``, the default); ``on_error="continue"`` runs
@@ -371,7 +437,7 @@ class SweepExecutor:
     """
 
     def __init__(self, jobs=1, cache=None, backend=None, chunk_size=None,
-                 on_error="raise"):
+                 on_error="raise", workers=None, worker_timeout=None):
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache)
         if on_error not in ("raise", "continue"):
@@ -380,11 +446,18 @@ class SweepExecutor:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.backend = make_backend(backend, jobs=self.jobs,
-                                    chunk_size=chunk_size)
+                                    chunk_size=chunk_size, workers=workers,
+                                    worker_timeout=worker_timeout)
         self.on_error = on_error
         self.stats = SweepStats()
 
     def run(self, points, on_error=None):
+        """Execute *points*; returns their results in input order.
+
+        Cache hits are resolved first; only misses reach the backend.
+        *on_error* overrides the executor default for this call (see the
+        class docstring for the ``raise``/``continue`` contract).
+        """
         on_error = self.on_error if on_error is None else on_error
         if on_error not in ("raise", "continue"):
             raise ValueError("on_error must be 'raise' or 'continue', "
@@ -427,9 +500,11 @@ class SweepExecutor:
         return results
 
     def run_one(self, point, on_error=None):
+        """Shorthand for ``run([point])[0]``."""
         return self.run([point], on_error=on_error)[0]
 
     def close(self):
+        """Release the backend's pool/connections (idempotent)."""
         self.backend.close()
 
     def __enter__(self):
@@ -440,9 +515,27 @@ class SweepExecutor:
 
 
 def run_sweep(points, jobs=1, cache_dir=None, backend=None,
-              on_error="raise"):
-    """Convenience wrapper: execute *points*, return (results, stats)."""
+              on_error="raise", workers=None, worker_timeout=None):
+    """Convenience wrapper: execute *points* and return
+    ``(results, stats)``.
+
+    :param points: iterable of :class:`SweepPoint`.
+    :param jobs: worker count for the pool backends.
+    :param cache_dir: optional persistent result-cache directory.
+    :param backend: a :data:`BACKENDS` name or :class:`Backend` instance.
+    :param on_error: ``"raise"`` (default) or ``"continue"``; see
+        :class:`SweepExecutor`.
+    :param workers: remote worker addresses (selects the ``remote``
+        backend).
+    :param worker_timeout: seconds to wait for one remote chunk before
+        declaring its worker dead (remote backend only).
+    :returns: ``(results, stats)`` — results in input order (a
+        :class:`~repro.harness.runner.RunResult` or, under
+        ``"continue"``, a :class:`PointFailure` per point) and the
+        executor's :class:`SweepStats`.
+    """
     cache = ResultCache(cache_dir) if cache_dir else None
     with SweepExecutor(jobs=jobs, cache=cache, backend=backend,
-                       on_error=on_error) as executor:
+                       on_error=on_error, workers=workers,
+                       worker_timeout=worker_timeout) as executor:
         return executor.run(points), executor.stats

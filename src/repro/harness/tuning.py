@@ -102,16 +102,28 @@ def _param_grid(thresholds, cfactors, granularities, groups):
 
 def tune(bench, data, label, strategy="guided", device_config=None,
          check_against=None, uncapped=False, executor=None, scale=None):
-    """Search the parameter space for one variant; returns a TuneOutcome.
+    """Search the parameter space for one variant.
 
-    ``label`` "KLAP (CDP+A)" restricts granularity to prior work's options.
-    ``uncapped`` permits thresholds beyond the largest launch (Fig. 12).
-
-    With an *executor* (a :class:`~repro.harness.sweep.SweepExecutor`) and
-    the dataset *scale*, the whole grid is fanned out through the sweep
-    engine — parallel and cacheable. In that mode the ``check_against``
-    output check runs once on the best point (workers return timings only)
-    instead of on every point; the serial path is unchanged.
+    :param bench: benchmark object; *data* its built dataset.
+    :param label: variant label; ``"KLAP (CDP+A)"`` restricts granularity
+        to prior work's options.
+    :param strategy: ``"guided"`` (Sec. VIII-C pruning, under ten runs)
+        or ``"exhaustive"`` (full cross product).
+    :param check_against: reference outputs; every evaluated point is
+        verified against it (executor mode verifies the best point once —
+        workers return timings only).
+    :param uncapped: permit thresholds beyond the largest launch
+        (the Fig. 12 methodology).
+    :param executor: optional
+        :class:`~repro.harness.sweep.SweepExecutor`; together with the
+        dataset *scale* it fans the whole grid out through the sweep
+        engine — parallel, cacheable, and shardable across remote
+        workers. Failures always raise
+        :class:`~repro.harness.sweep.SweepPointError` here (the tuner
+        has no representation for a failed point), regardless of the
+        executor's ``on_error``.
+    :returns: a :class:`TuneOutcome` with the best params, its time, and
+        every ``(params, total_time)`` evaluated.
     """
     klap_mode = label == "KLAP (CDP+A)"
     thresholds, cfactors, granularities, groups = _spaces(

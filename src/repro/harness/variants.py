@@ -37,6 +37,14 @@ class TuningParams:
     group_blocks: int = DEFAULT_GROUP_BLOCKS
 
     def describe(self):
+        """Compact human-readable form ('-' when nothing is enabled).
+
+        >>> TuningParams(threshold=64, granularity="multiblock",
+        ...              group_blocks=4).describe()
+        'T=64,A=multiblock(4)'
+        >>> TuningParams().describe()
+        '-'
+        """
         parts = []
         if self.threshold is not None:
             parts.append("T=%d" % self.threshold)
@@ -51,7 +59,13 @@ class TuningParams:
 
 
 def uses(label, letter):
-    """Does a variant label include optimization T/C/A?"""
+    """Does a variant label include optimization T/C/A?
+
+    >>> uses("CDP+T+C", "T"), uses("CDP+T+C", "A")
+    (True, False)
+    >>> uses("KLAP (CDP+A)", "A")
+    True
+    """
     if label == "No CDP" or label == "CDP":
         return False
     if label == "KLAP (CDP+A)":
@@ -67,6 +81,10 @@ def mask_params(label, params):
     Grid builders and figure drivers share this so identical *effective*
     configurations always produce identical :class:`TuningParams` — and
     therefore one sweep-cache key — whatever the surrounding grid carried.
+
+    >>> mask_params("CDP+T", TuningParams(threshold=32,
+    ...                                   coarsen_factor=8)).describe()
+    'T=32'
     """
     granularity = params.granularity if uses(label, "A") else None
     return TuningParams(

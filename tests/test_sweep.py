@@ -14,6 +14,8 @@ from repro.harness import (BACKENDS, PointFailure, ResultCache, RunResult,
                            TuningParams, figure11, figure12, point_key,
                            quick_tune, run_sweep, run_variant, sweep_grid,
                            tune)
+
+from . import conftest
 from repro.harness import figures as figures_mod
 from repro.harness import sweep as sweep_mod
 from repro.sim.config import DeviceConfig
@@ -33,6 +35,22 @@ def small_grid():
 @pytest.fixture(scope="module")
 def serial_results():
     return SweepExecutor(jobs=1).run(small_grid())
+
+
+@pytest.fixture(name="worker_fleet", scope="module")
+def worker_fleet_fixture():
+    """Two in-process worker daemons backing the ``remote`` backend."""
+    with conftest.worker_fleet() as servers:
+        yield [server.address for server in servers]
+
+
+def make_executor(backend, worker_fleet, jobs=3, **kwargs):
+    """SweepExecutor on *backend*; the remote one gets the test fleet
+    (remote rejects jobs>1 — its parallelism is one chunk per worker)."""
+    if backend == "remote":
+        return SweepExecutor(backend=backend, workers=worker_fleet,
+                             **kwargs)
+    return SweepExecutor(jobs=jobs, backend=backend, **kwargs)
 
 
 class TestSerialParallelEquivalence:
@@ -75,8 +93,8 @@ class TestBackends:
             SweepExecutor().run([], on_error="Raise")
 
     @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_backend_parity(self, serial_results, backend):
-        with SweepExecutor(jobs=3, backend=backend) as executor:
+    def test_backend_parity(self, serial_results, backend, worker_fleet):
+        with make_executor(backend, worker_fleet) as executor:
             assert executor.backend.name == backend
             assert executor.run(small_grid()) == serial_results
 
@@ -229,16 +247,16 @@ class TestFigureParityAcrossBackends:
         patcher.undo()
 
     @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_figure11_parity(self, fig11_serial, backend):
-        with SweepExecutor(jobs=2, backend=backend) as executor:
+    def test_figure11_parity(self, fig11_serial, backend, worker_fleet):
+        with make_executor(backend, worker_fleet, jobs=2) as executor:
             fig = figure11("BFS", "KRON", scale=self.TINY,
                            executor=executor)
         assert fig.series == fig11_serial.series
         assert fig.thresholds == fig11_serial.thresholds
 
     @pytest.mark.parametrize("backend", sorted(BACKENDS))
-    def test_figure12_parity(self, fig12_tiny, backend):
-        with SweepExecutor(jobs=2, backend=backend) as executor:
+    def test_figure12_parity(self, fig12_tiny, backend, worker_fleet):
+        with make_executor(backend, worker_fleet, jobs=2) as executor:
             fig = figure12(scale=self.TINY, executor=executor)
         assert fig.speedups == fig12_tiny.speedups
         assert fig.best_params == fig12_tiny.best_params
