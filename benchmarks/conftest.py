@@ -17,7 +17,7 @@ def pytest_addoption(parser):
     parser.addoption("--repro-scale", action="store", type=float,
                      default=0.35,
                      help="dataset scale for figure regeneration benches "
-                          "(EXPERIMENTS.md records runs at this default)")
+                          "(docs/reproducing.md discusses scale choices)")
     parser.addoption("--repro-jobs", action="store", type=int, default=1,
                      help="worker processes for the sweep engine "
                           "(1 = in-process serial)")

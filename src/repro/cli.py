@@ -20,6 +20,10 @@ Usage::
         --workers hostA:7070,hostB:7070
     python -m repro cache info --cache-dir .repro-cache
     python -m repro cache prune --cache-dir .repro-cache --max-bytes 1000000
+    python -m repro serve --port 8070 --cache-dir .repro-cache \\
+        --workers hostA:7070,hostB:7070     # HTTP query service
+
+``docs/serving.md`` documents the ``repro serve`` HTTP API.
 """
 
 import argparse
@@ -367,6 +371,35 @@ def cmd_worker(args):
     return 0
 
 
+def cmd_serve(args):
+    from .harness.serve import ServeServer
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        server = ServeServer(host=args.host, port=args.port, quiet=False,
+                             cache_dir=cache_dir, jobs=args.jobs,
+                             backend=args.backend, workers=args.workers,
+                             worker_timeout=args.worker_timeout)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (OSError, OverflowError) as exc:
+        print("cannot bind %s:%d: %s" % (args.host, args.port, exc),
+              file=sys.stderr)
+        return 1
+    host, port = server.address
+    print("repro serve listening on http://%s:%d/ (backend=%s, cache=%s)"
+          % (host, port, server.service.executor.backend.name,
+             cache_dir or "disabled"), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_cache(args):
     from .harness.cache import TMP_MAX_AGE
 
@@ -483,6 +516,20 @@ def build_parser():
     w_stop.add_argument("address", metavar="HOST:PORT")
     w_stop.add_argument("--timeout", type=float, default=10.0)
     p_worker.set_defaults(func=cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived HTTP query service over the "
+                      "warm caches (GET /healthz, /cache/info, /point, "
+                      "/figure/<name>; POST /sweep — see docs/serving.md); "
+                      "misses route through the sweep engine "
+                      "(--jobs/--backend/--workers)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="port to bind (default 0: pick an ephemeral "
+                              "port and print it)")
+    _add_sweep_flags(p_serve, default_cache=".repro-cache")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect and manage the on-disk sweep/figure cache "

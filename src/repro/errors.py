@@ -52,5 +52,17 @@ class SimulationError(ReproError):
     """Raised on inconsistencies inside the timing simulation."""
 
 
+class ServeError(ReproError):
+    """Raised on a malformed request to the HTTP query service.
+
+    ``repro serve`` (``repro.harness.serve``) maps it to a 400 response
+    with a structured JSON body — bad query parameters, unknown variant
+    labels, undecodable POST bodies. Server-side failures (a point that
+    dies in the simulator) are not ServeErrors; they surface as 500s
+    under the sweep engine's ``on_error`` contract. See
+    ``docs/serving.md``.
+    """
+
+
 class RuntimeLaunchError(ReproError):
     """Raised by the host runtime on invalid launches or allocations."""

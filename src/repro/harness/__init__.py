@@ -16,6 +16,7 @@ from .sweep import (BACKENDS, Backend, PointFailure, SweepExecutor,
 from .remote import (RemoteBackend, RemoteError, RemoteHandshakeError,
                      RemoteProtocolError, RemoteWorkerError, WorkerServer,
                      parse_workers, worker_ping, worker_stop)
+from .serve import ENDPOINTS, QueryService, ServeServer
 from .tuning import (FULL_THRESHOLDS, TuneOutcome, threshold_candidates,
                      tune)
 from .variants import (ALL_GRANULARITIES, KLAP_GRANULARITIES, VARIANT_LABELS,
@@ -32,6 +33,7 @@ __all__ = [
     "RemoteBackend", "RemoteError", "RemoteHandshakeError",
     "RemoteProtocolError", "RemoteWorkerError", "WorkerServer",
     "parse_workers", "worker_ping", "worker_stop",
+    "ENDPOINTS", "QueryService", "ServeServer",
     "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
     "Table1Result", "figure9", "figure10", "figure11", "figure12",
     "fixed_threshold_study", "table1",

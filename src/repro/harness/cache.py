@@ -55,22 +55,51 @@ def _hash_spec(spec):
 
 
 def encode_result(result):
-    """JSON-able payload for one :class:`~repro.harness.runner.RunResult`.
+    """JSON-able payload for one :class:`~repro.harness.runner.RunResult`
+    — **the** result wire format.
 
-    The single serialized form shared by the on-disk cache and the remote
-    backend's wire protocol; drops raw ``outputs`` arrays (workers and
-    cache entries carry timings only). Invert with :func:`decode_result`.
+    This is the single serialized encoding shared by every consumer of a
+    finished point; there is no second schema anywhere in the system:
+
+    * the on-disk cache stores it as ``<cache-dir>/<key>.json``
+      (:class:`ResultCache`, ``docs/sweep-engine.md``);
+    * the remote backend ships it inside ``chunk_result`` TCP frames
+      (:mod:`repro.harness.remote`, ``docs/sweep-engine.md``);
+    * the HTTP query service returns it verbatim as the ``result`` field
+      of ``GET /point`` and ``POST /sweep`` responses
+      (:mod:`repro.harness.serve`, ``docs/serving.md``).
+
+    Raw ``outputs`` arrays are dropped — disk, TCP, and HTTP all carry
+    timings only. Invert with :func:`decode_result`; the payload
+    round-trips through ``json`` unchanged:
+
+    >>> import json
+    >>> from repro.harness.runner import RunResult
+    >>> from repro.harness.variants import TuningParams
+    >>> result = RunResult("BFS", "KRON", "CDP+T",
+    ...                    TuningParams(threshold=16), total_time=120,
+    ...                    breakdown={"parent": 70, "child": 50},
+    ...                    device_launches=4, host_agg_launches=0,
+    ...                    launch_queue_wait=9)
+    >>> payload = encode_result(result)
+    >>> sorted(payload)          # doctest: +NORMALIZE_WHITESPACE
+    ['benchmark', 'breakdown', 'dataset', 'device_launches',
+     'host_agg_launches', 'label', 'launch_queue_wait', 'params',
+     'total_time']
+    >>> decode_result(json.loads(json.dumps(payload))) == result
+    True
     """
     return result.to_dict()
 
 
 def decode_result(payload):
     """Rebuild a :class:`~repro.harness.runner.RunResult` from
-    :func:`encode_result`'s payload.
+    :func:`encode_result`'s payload — the other half of the shared
+    disk/TCP/HTTP result contract (see :func:`encode_result`).
 
     Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
-    payloads — callers treat that as corruption (cache) or protocol
-    garbage (remote).
+    payloads — callers treat that as corruption (cache), protocol
+    garbage (remote), or a schema mismatch (HTTP clients).
     """
     return RunResult.from_dict(payload)
 
@@ -134,6 +163,21 @@ class CacheInfo:
     def total_bytes(self):
         return self.result_bytes + self.artifact_bytes + self.tmp_bytes
 
+    def to_dict(self):
+        """JSON-able form (the ``GET /cache/info`` payload of the query
+        service — see ``docs/serving.md``)."""
+        return {
+            "cache_dir": self.cache_dir,
+            "result_entries": self.result_entries,
+            "result_bytes": self.result_bytes,
+            "artifact_entries": self.artifact_entries,
+            "artifact_bytes": self.artifact_bytes,
+            "tmp_files": self.tmp_files,
+            "tmp_bytes": self.tmp_bytes,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+        }
+
     def format(self):
         return "\n".join([
             "cache %s" % self.cache_dir,
@@ -182,22 +226,29 @@ class ResultCache:
     def _figures_dir(self):
         return os.path.join(self.cache_dir, "figures")
 
-    def get(self, point):
+    def get(self, point, count_miss=True):
         """Cached :class:`~repro.harness.runner.RunResult` for *point*,
         or None on miss or corruption (corrupted entries are dropped so
-        the point re-simulates)."""
+        the point re-simulates).
+
+        ``count_miss=False`` suits optimistic pre-checks whose miss path
+        calls ``get`` again — the HTTP query service's lock-free hit path
+        — so one logical miss is never double-counted in :attr:`misses`.
+        """
         path = self._path(point_key(point))
         try:
             with open(path) as handle:
                 payload = json.load(handle)
             result = decode_result(payload["result"])
         except FileNotFoundError:
-            self.misses += 1
+            if count_miss:
+                self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted/truncated entry: drop it so the point re-simulates.
             _remove_quietly(path)
-            self.misses += 1
+            if count_miss:
+                self.misses += 1
             return None
         self.hits += 1
         _touch(path)
@@ -328,20 +379,26 @@ class FigureArtifactCache:
     def _path(self, name, spec):
         return os.path.join(self.cache_dir, figure_key(name, spec) + ".pkl")
 
-    def get(self, name, spec):
-        """Cached figure object, or None on miss/corruption."""
+    def get(self, name, spec, count_miss=True):
+        """Cached figure object, or None on miss/corruption.
+
+        ``count_miss=False`` marks an optimistic pre-check whose miss
+        path retries ``get`` (see :meth:`ResultCache.get`).
+        """
         path = self._path(name, spec)
         try:
             with open(path, "rb") as handle:
                 artifact = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            if count_miss:
+                self.misses += 1
             return None
         except Exception:
             # Corrupted/truncated artifact (pickle can raise nearly
             # anything): drop it and regenerate.
             _remove_quietly(path)
-            self.misses += 1
+            if count_miss:
+                self.misses += 1
             return None
         self.hits += 1
         _touch(path)

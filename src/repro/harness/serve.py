@@ -1,0 +1,610 @@
+"""`repro serve`: a long-lived HTTP query service over the warm caches.
+
+Every consumer of a paper result — Table 1 rows, Figure 9-12 points,
+tuner outputs — used to shell out to ``repro figure``/``repro sweep``
+even when the answer was already sitting warm in the
+:class:`~repro.harness.cache.ResultCache`. This module fronts the caches
+with a stdlib-only threaded HTTP server (``repro serve`` on the CLI) and
+uses the sweep engine — including the ``--workers`` remote fleet — as its
+miss path, so results become queryable at interactive latency.
+
+Endpoints (the full reference with request/response examples lives in
+``docs/serving.md``; :data:`ENDPOINTS` is the machine-readable list):
+
+* ``GET /healthz`` — liveness, versions, uptime, request count;
+* ``GET /cache/info`` — JSON :meth:`~repro.harness.cache.CacheInfo.to_dict`
+  plus result/figure hit counters and cumulative executor stats;
+* ``GET /point?benchmark=..&dataset=..&label=..&threshold=..`` — one
+  sweep point. Params are canonicalized through
+  :func:`~repro.harness.variants.mask_params`, so any URL describing the
+  same *effective* configuration lands on the same cache key; a warm hit
+  never touches the executor, a miss runs through the shared
+  :class:`~repro.harness.sweep.SweepExecutor` and populates the cache;
+* ``POST /sweep`` — a (pairs × variants) grid spec; per-point results
+  with :class:`~repro.harness.sweep.PointFailure` entries surfaced as
+  structured JSON under the documented ``on_error`` contract
+  (``docs/sweep-engine.md``);
+* ``GET /figure/<name>`` — read-through
+  :class:`~repro.harness.cache.FigureArtifactCache`.
+
+Results travel as :func:`~repro.harness.cache.encode_result` payloads —
+the same encoding the disk cache and the remote TCP protocol use, so the
+three consumers share one contract.
+
+Concurrency model: the cache hit path is lock-free (content-addressed
+files, atomically replaced — concurrent readers can never observe a torn
+entry), so warm traffic scales with the server's thread pool. Miss-path
+work is serialized through one executor lock, because the sweep backends
+are not safe for concurrent ``map`` calls; a service expected to take
+cold traffic should be given ``--jobs``/``--workers`` so the serialized
+miss still uses a whole machine or fleet.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..benchmarks import get_benchmark
+from ..errors import ReproError, ServeError
+from ..sim.config import DeviceConfig
+from .cache import (CACHE_VERSION, FigureArtifactCache, ResultCache,
+                    encode_result, point_key)
+from .figures import (figure9, figure10, figure11, figure12,
+                      fixed_threshold_study, table1)
+from .sweep import PointFailure, SweepExecutor, SweepPoint, sweep_grid
+from .variants import (ALL_GRANULARITIES, VARIANT_LABELS, TuningParams,
+                       mask_params)
+
+__all__ = ["ENDPOINTS", "QueryService", "ServeServer", "point_from_query"]
+
+#: Every route the server registers, in documentation order.
+#: ``docs/serving.md`` must document each entry verbatim (enforced by
+#: ``tests/test_docs.py``).
+ENDPOINTS = ("GET /healthz", "GET /cache/info", "GET /point",
+             "POST /sweep", "GET /figure/<name>")
+
+#: Upper bound on one ``POST /sweep`` body; anything larger is a client
+#: error, not a grid.
+MAX_BODY = 16 * 1024 * 1024
+
+#: Variant labels whose ``+`` arrived as a space because the client did
+#: not URL-encode it (``+`` means space in a query string).
+_LABEL_BY_SPACED = {label.replace("+", " "): label
+                    for label in VARIANT_LABELS}
+
+_POINT_KEYS = ("benchmark", "dataset", "label", "scale", "threshold",
+               "coarsen", "aggregate", "group_blocks")
+
+_SWEEP_KEYS = ("pairs", "variants", "scale", "params", "on_error")
+
+_PARAM_KEYS = ("threshold", "coarsen", "aggregate", "group_blocks")
+
+
+def _canonical_label(label):
+    """Resolve a variant label from a query string, tolerating the
+    ``+`` → space mangling of unencoded URLs.
+
+    >>> _canonical_label("CDP T")
+    'CDP+T'
+    >>> _canonical_label("No CDP")
+    'No CDP'
+    >>> _canonical_label("KLAP (CDP A)")
+    'KLAP (CDP+A)'
+    """
+    if label in VARIANT_LABELS:
+        return label
+    if label in _LABEL_BY_SPACED:
+        return _LABEL_BY_SPACED[label]
+    raise ServeError("unknown variant label %r (have %s)"
+                     % (label, ", ".join(VARIANT_LABELS)))
+
+
+def _parse_int(raw, name):
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ServeError("%s must be an integer, not %r" % (name, raw))
+
+
+def _parse_float(raw, name):
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise ServeError("%s must be a number, not %r" % (name, raw))
+
+
+def _parse_granularity(raw):
+    if raw is None or raw in ALL_GRANULARITIES:
+        return raw
+    raise ServeError("aggregate must be one of %s, not %r"
+                     % (", ".join(ALL_GRANULARITIES), raw))
+
+
+def _validate_pair(benchmark, dataset):
+    """Resolve one benchmark/dataset pair; 400s on unknown names."""
+    try:
+        bench = get_benchmark(benchmark)
+    except KeyError as exc:
+        raise ServeError(exc.args[0])
+    if dataset not in bench.dataset_names:
+        raise ServeError("unknown dataset %r for %s (have %s)"
+                         % (dataset, bench.name,
+                            ", ".join(bench.dataset_names)))
+    return bench.name
+
+
+def _params_from(mapping, where):
+    unknown = sorted(set(mapping) - set(_PARAM_KEYS))
+    if unknown:
+        raise ServeError("unknown %s parameter(s) %s (have %s)"
+                         % (where, ", ".join(unknown),
+                            ", ".join(_PARAM_KEYS)))
+    kwargs = {}
+    if mapping.get("threshold") is not None:
+        kwargs["threshold"] = _parse_int(mapping["threshold"], "threshold")
+    if mapping.get("coarsen") is not None:
+        kwargs["coarsen_factor"] = _parse_int(mapping["coarsen"], "coarsen")
+    kwargs["granularity"] = _parse_granularity(mapping.get("aggregate"))
+    if mapping.get("group_blocks") is not None:
+        kwargs["group_blocks"] = _parse_int(mapping["group_blocks"],
+                                            "group_blocks")
+    return TuningParams(**kwargs)
+
+
+def point_from_query(query):
+    """Build the canonical :class:`~repro.harness.sweep.SweepPoint` for a
+    ``GET /point`` query-parameter mapping.
+
+    Tuning params are canonicalized through
+    :func:`~repro.harness.variants.mask_params`, so two URLs describing
+    the same effective configuration (e.g. a plain ``CDP`` point with or
+    without a stray ``threshold=``) resolve to the same point — and
+    therefore the same cache key. Raises :class:`~repro.errors.ServeError`
+    (HTTP 400) on unknown parameters, names, or labels.
+    """
+    unknown = sorted(set(query) - set(_POINT_KEYS))
+    if unknown:
+        raise ServeError("unknown /point parameter(s) %s (have %s)"
+                         % (", ".join(unknown), ", ".join(_POINT_KEYS)))
+    for required in ("benchmark", "dataset"):
+        if not query.get(required):
+            raise ServeError("/point needs a %r parameter" % required)
+    label = _canonical_label(query.get("label", "CDP"))
+    benchmark = _validate_pair(query["benchmark"], query["dataset"])
+    scale = _parse_float(query.get("scale", "0.25"), "scale")
+    tuning = {key: query[key] for key in _PARAM_KEYS if key in query}
+    params = mask_params(label, _params_from(tuning, "/point"))
+    return SweepPoint(benchmark, query["dataset"], label, params,
+                      DeviceConfig(), scale)
+
+
+def _failure_payload(failure):
+    """Structured JSON for one :class:`~repro.harness.sweep.PointFailure`
+    (the ``on_error`` contract of ``docs/sweep-engine.md``, over HTTP)."""
+    return {"status": "error",
+            "error": failure.error,
+            "message": failure.message,
+            "point": failure.point.spec(),
+            "describe": failure.point.describe()}
+
+
+class _ArtifactMiss(Exception):
+    """Internal: the optimistic figure pass found no cached artifact."""
+
+
+class _ArtifactProbe:
+    """Read-only view of a :class:`~repro.harness.cache.FigureArtifactCache`
+    for the lock-free warm-figure pass: serves hits, aborts the build on
+    a miss (so the probe never reaches executor work). The miss stays
+    uncounted — the locked rebuild's own ``get`` is the authoritative
+    one."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def get(self, name, spec):
+        artifact = self._inner.get(name, spec, count_miss=False)
+        if artifact is None:
+            raise _ArtifactMiss(name)
+        return artifact
+
+
+# -- figure registry ----------------------------------------------------------
+
+def _strategy_from(query):
+    strategy = query.get("strategy", "guided")
+    if strategy not in ("guided", "exhaustive"):
+        raise ServeError("strategy must be 'guided' or 'exhaustive', "
+                         "not %r" % (strategy,))
+    return strategy
+
+
+def _fig11_args(query):
+    benchmark = query.get("benchmark", "BFS")
+    dataset = query.get("dataset", "KRON")
+    return _validate_pair(benchmark, dataset), dataset
+
+
+#: name -> (allowed query params, builder(query, executor, artifacts)).
+#: The names match ``repro figure`` so the docs describe one vocabulary.
+FIGURES = {
+    "table1": (
+        ("scale",),
+        lambda query, executor, artifacts: table1(
+            scale=_parse_float(query.get("scale", "1.0"), "scale"),
+            artifacts=artifacts)),
+    "fig9": (
+        ("scale", "strategy"),
+        lambda query, executor, artifacts: figure9(
+            scale=_parse_float(query.get("scale", "0.25"), "scale"),
+            strategy=_strategy_from(query), executor=executor,
+            artifacts=artifacts)),
+    "fig10": (
+        ("scale", "strategy"),
+        lambda query, executor, artifacts: figure10(
+            scale=_parse_float(query.get("scale", "0.25"), "scale"),
+            strategy=_strategy_from(query), executor=executor,
+            artifacts=artifacts)),
+    "fig11": (
+        ("scale", "benchmark", "dataset"),
+        lambda query, executor, artifacts: figure11(
+            *_fig11_args(query),
+            scale=_parse_float(query.get("scale", "0.25"), "scale"),
+            executor=executor, artifacts=artifacts)),
+    "fig12": (
+        ("scale", "strategy"),
+        lambda query, executor, artifacts: figure12(
+            scale=_parse_float(query.get("scale", "0.25"), "scale"),
+            strategy=_strategy_from(query), executor=executor,
+            artifacts=artifacts)),
+    "fixed-threshold": (
+        ("scale", "strategy"),
+        lambda query, executor, artifacts: fixed_threshold_study(
+            scale=_parse_float(query.get("scale", "0.25"), "scale"),
+            strategy=_strategy_from(query), executor=executor,
+            artifacts=artifacts)),
+}
+
+
+# -- the service --------------------------------------------------------------
+
+class QueryService:
+    """The serving-path brain: caches + one shared executor, HTTP-free.
+
+    All request semantics live here (the HTTP handler only routes and
+    serializes), so tests and embedders can drive the service without a
+    socket. Every public method returns ``(payload, http_status)``.
+
+    With ``cache_dir=None`` the service still works but every request
+    takes the miss path — useful only for smoke tests; production
+    serving wants a cache pre-warmed by ``repro sweep`` (the runbook in
+    ``docs/serving.md``).
+    """
+
+    def __init__(self, cache_dir=".repro-cache", jobs=1, backend=None,
+                 workers=None, worker_timeout=None, quiet=True):
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.artifacts = FigureArtifactCache(cache_dir) if cache_dir else None
+        self.executor = SweepExecutor(jobs=jobs, cache=self.cache,
+                                      backend=backend, workers=workers,
+                                      worker_timeout=worker_timeout,
+                                      on_error="continue")
+        self.quiet = quiet
+        self.started = time.time()
+        self.requests = 0
+        # Backends are not safe for concurrent map() calls; the hit path
+        # never takes this lock.
+        self._miss_lock = threading.Lock()
+        self._count_lock = threading.Lock()
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def count_request(self):
+        with self._count_lock:
+            self.requests += 1
+
+    # -- endpoints ------------------------------------------------------------
+
+    def health(self):
+        """``GET /healthz``."""
+        return ({"status": "ok",
+                 "version": __version__,
+                 "cache_version": CACHE_VERSION,
+                 "backend": self.executor.backend.name,
+                 "cache_dir": self.cache_dir,
+                 "uptime_seconds": round(time.time() - self.started, 3),
+                 "requests": self.requests,
+                 "endpoints": list(ENDPOINTS)}, 200)
+
+    def cache_info(self):
+        """``GET /cache/info``."""
+        payload = {
+            "cache_dir": self.cache_dir,
+            "info": self.cache.info().to_dict() if self.cache else None,
+            "results": ({"hits": self.cache.hits,
+                         "misses": self.cache.misses}
+                        if self.cache else None),
+            "figures": ({"hits": self.artifacts.hits,
+                         "misses": self.artifacts.misses}
+                        if self.artifacts else None),
+            "executor": self.executor.stats.to_dict(),
+            "backend": self.executor.backend.name,
+        }
+        return (payload, 200)
+
+    def lookup_point(self, query):
+        """``GET /point``: warm answers straight from the cache, misses
+        through the shared executor (which populates the cache, so the
+        second identical request is a hit)."""
+        point = point_from_query(query)
+        # Optimistic lock-free pre-check; the executor's own get() is the
+        # authoritative (counted) miss, so this one stays uncounted.
+        result = (self.cache.get(point, count_miss=False)
+                  if self.cache is not None else None)
+        cache_state = "hit"
+        if result is None:
+            cache_state = "miss"
+            with self._miss_lock:
+                result = self.executor.run_one(point, on_error="continue")
+        if isinstance(result, PointFailure):
+            return (_failure_payload(result), 500)
+        return ({"point": point.spec(),
+                 "key": point_key(point),
+                 "cache": cache_state,
+                 "result": encode_result(result)}, 200)
+
+    def run_sweep(self, body):
+        """``POST /sweep``: a grid spec; per-point results in grid order,
+        failures as structured entries (``on_error="continue"``), or one
+        500 naming the first failure (``on_error="raise"``)."""
+        if not isinstance(body, dict):
+            raise ServeError("POST /sweep body must be a JSON object")
+        unknown = sorted(set(body) - set(_SWEEP_KEYS))
+        if unknown:
+            raise ServeError("unknown /sweep key(s) %s (have %s)"
+                             % (", ".join(unknown), ", ".join(_SWEEP_KEYS)))
+        on_error = body.get("on_error", "continue")
+        if on_error not in ("continue", "raise"):
+            raise ServeError("on_error must be 'continue' or 'raise', "
+                             "not %r" % (on_error,))
+        pairs = []
+        for item in body.get("pairs") or ():
+            if isinstance(item, str):
+                benchmark, _, dataset = item.partition(":")
+            elif isinstance(item, (list, tuple)) and len(item) == 2:
+                benchmark, dataset = item
+            else:
+                raise ServeError("bad pairs entry %r (want 'BENCH:DATASET' "
+                                 "or [bench, dataset])" % (item,))
+            if not benchmark or not dataset:
+                raise ServeError("bad pairs entry %r (want 'BENCH:DATASET' "
+                                 "or [bench, dataset])" % (item,))
+            pairs.append((_validate_pair(benchmark, dataset), dataset))
+        if not pairs:
+            raise ServeError("POST /sweep needs a non-empty 'pairs' list")
+        variants = [_canonical_label(label)
+                    for label in body.get("variants") or ()]
+        if not variants:
+            raise ServeError("POST /sweep needs a non-empty 'variants' list")
+        scale = _parse_float(body.get("scale", 0.25), "scale")
+        params_body = body.get("params") or {}
+        if not isinstance(params_body, dict):
+            raise ServeError("'params' must be a JSON object")
+        params = _params_from(params_body, "/sweep params")
+        points = sweep_grid(pairs, variants, scale=scale, params=params)
+        with self._miss_lock:
+            before = self.executor.stats.to_dict()
+            results = self.executor.run(points, on_error="continue")
+            after = self.executor.stats.to_dict()
+        stats = {key: after[key] - before[key] for key in after}
+        failures = [r for r in results if isinstance(r, PointFailure)]
+        if failures and on_error == "raise":
+            return (_failure_payload(failures[0]), 500)
+        entries = [_failure_payload(result)
+                   if isinstance(result, PointFailure)
+                   else {"status": "ok", "result": encode_result(result)}
+                   for result in results]
+        return ({"points": len(points), "results": entries,
+                 "stats": stats}, 200)
+
+    def figure(self, name, query):
+        """``GET /figure/<name>``: read-through the figure artifact
+        cache; a miss rebuilds the figure through the shared executor
+        (grid points still resolve against the result cache first)."""
+        if name not in FIGURES:
+            return ({"error": "NotFound",
+                     "message": "unknown figure %r" % (name,),
+                     "figures": sorted(FIGURES)}, 404)
+        allowed, build = FIGURES[name]
+        unknown = sorted(set(query) - set(allowed))
+        if unknown:
+            raise ServeError("unknown /figure/%s parameter(s) %s (have %s)"
+                             % (name, ", ".join(unknown),
+                                ", ".join(allowed)))
+        started = time.perf_counter()
+        # Optimistic lock-free pass: a probe view of the artifact cache
+        # serves a warm hit immediately (never touching the executor) and
+        # aborts the build on a miss, so warm figures stay interactive
+        # while a slow cold request holds the miss lock.
+        if self.artifacts is not None:
+            try:
+                result = build(query, None, _ArtifactProbe(self.artifacts))
+                return ({"figure": name, "cache": "hit",
+                         "elapsed_seconds":
+                             round(time.perf_counter() - started, 6),
+                         "text": result.format()}, 200)
+            except _ArtifactMiss:
+                pass
+        with self._miss_lock:
+            result = build(query, self.executor, self.artifacts)
+        return ({"figure": name,
+                 "cache": "miss",
+                 "elapsed_seconds": round(time.perf_counter() - started, 6),
+                 "text": result.format()}, 200)
+
+    def log(self, message):
+        if not self.quiet:
+            print("repro serve: %s" % message, flush=True)
+
+    def close(self):
+        """Release the executor's pool/connections (idempotent)."""
+        self.executor.close()
+
+
+# -- the HTTP front-end -------------------------------------------------------
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service = None
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Thin routing/serialization shell around :class:`QueryService`."""
+
+    server_version = "repro-serve/" + __version__
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):       # noqa: A002 (stdlib name)
+        service = self.server.service
+        if service is not None and not service.quiet:
+            service.log("%s %s" % (self.address_string(), format % args))
+
+    def _send(self, code, payload):
+        blob = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
+            .encode("utf-8")
+        if code >= 400:
+            # An errored request may have an unread body; never reuse
+            # the connection in that state.
+            self.close_connection = True
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(blob)
+        except OSError:
+            pass                                # client hung up mid-reply
+
+    def _read_json_body(self):
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ServeError("bad Content-Length header")
+        if length <= 0:
+            raise ServeError("POST needs a JSON body (Content-Length > 0)")
+        if length > MAX_BODY:
+            raise ServeError("body too large (%d bytes; limit %d)"
+                             % (length, MAX_BODY))
+        blob = self.rfile.read(length)
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError("body is not valid JSON: %s" % exc)
+
+    def _route(self, method):
+        service = self.server.service
+        service.count_request()
+        try:
+            split = urlsplit(self.path)
+            path = split.path.rstrip("/") or "/"
+            query = {key: values[-1] for key, values in
+                     parse_qs(split.query, keep_blank_values=True).items()}
+            if path == "/healthz":
+                payload, code = self._only("GET", method, service.health)
+            elif path == "/cache/info":
+                payload, code = self._only("GET", method, service.cache_info)
+            elif path == "/point":
+                payload, code = self._only("GET", method,
+                                           lambda: service.lookup_point(
+                                               query))
+            elif path == "/sweep":
+                payload, code = self._only(
+                    "POST", method,
+                    lambda: service.run_sweep(self._read_json_body()))
+            elif path.startswith("/figure/"):
+                name = path[len("/figure/"):]
+                payload, code = self._only("GET", method,
+                                           lambda: service.figure(name,
+                                                                  query))
+            else:
+                payload, code = ({"error": "NotFound",
+                                  "message": "no route for %r" % path,
+                                  "endpoints": list(ENDPOINTS)}, 404)
+        except ServeError as exc:
+            payload, code = ({"error": "ServeError",
+                              "message": str(exc)}, 400)
+        except ReproError as exc:
+            payload, code = ({"error": type(exc).__name__,
+                              "message": str(exc)}, 500)
+        except Exception as exc:                 # keep the server alive
+            payload, code = ({"error": type(exc).__name__,
+                              "message": str(exc)}, 500)
+        self._send(code, payload)
+
+    def _only(self, allowed, method, call):
+        if method != allowed:
+            return ({"error": "MethodNotAllowed",
+                     "message": "use %s (see docs/serving.md)"
+                                % allowed}, 405)
+        return call()
+
+    def do_GET(self):
+        self._route("GET")
+
+    def do_POST(self):
+        self._route("POST")
+
+
+class ServeServer:
+    """A ``repro serve`` daemon: :class:`QueryService` behind a threaded
+    stdlib HTTP server.
+
+    Binds ``host:port`` (port 0 picks an ephemeral port — read it back
+    from :attr:`address`). Service configuration (``cache_dir``,
+    ``jobs``, ``backend``, ``workers``, ``worker_timeout``) is forwarded
+    to :class:`QueryService` unless a ready-made *service* is given.
+    Mirrors :class:`~repro.harness.remote.WorkerServer`'s lifecycle:
+    :meth:`serve_forever` for the CLI, :meth:`start` for tests and
+    embedding, :meth:`close` to release the socket and the executor.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, service=None, quiet=True,
+                 **service_kwargs):
+        if service is None:
+            service = QueryService(quiet=quiet, **service_kwargs)
+        self.service = service
+        self._server = _ServeHTTPServer((host, port), _ServeHandler)
+        self._server.service = service
+        self._thread = None
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` pair."""
+        return self._server.server_address[:2]
+
+    def serve_forever(self):
+        """Serve until :meth:`close` or Ctrl-C."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self):
+        """Serve on a daemon thread (for tests/embedding); returns
+        :attr:`address`."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self.address
+
+    def close(self):
+        """Stop serving and release the socket and the shared executor."""
+        if self._thread is not None and self._thread.is_alive():
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self.service.close()

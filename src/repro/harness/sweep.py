@@ -411,6 +411,15 @@ class SweepStats:
     simulated: int = 0
     failed: int = 0
 
+    def to_dict(self):
+        """JSON-able counters (reported by the query service's
+        ``/cache/info`` and per-request ``POST /sweep`` stats).
+
+        >>> SweepStats(points=3, hits=1, simulated=2).to_dict()
+        {'points': 3, 'hits': 1, 'simulated': 2, 'failed': 0}
+        """
+        return asdict(self)
+
 
 class SweepExecutor:
     """Runs SweepPoints — optionally in parallel, optionally cached.

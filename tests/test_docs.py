@@ -33,14 +33,21 @@ def slugify(heading):
     return heading.replace(" ", "-")
 
 
+CORE_PAGES = ("architecture.md", "sweep-engine.md", "reproducing.md",
+              "serving.md")
+
+#: ``repro <subcommand>`` mentions in prose and shell blocks.
+SUBCOMMAND_RE = re.compile(r"\brepro ([a-z][a-z0-9-]*)")
+
+
 class TestDocsTree:
     def test_core_pages_exist(self):
-        for name in ("architecture.md", "sweep-engine.md", "reproducing.md"):
+        for name in CORE_PAGES:
             assert (DOCS / name).is_file(), "missing docs/%s" % name
 
     def test_readme_links_every_core_page(self):
         readme = (REPO / "README.md").read_text()
-        for name in ("architecture.md", "sweep-engine.md", "reproducing.md"):
+        for name in CORE_PAGES:
             assert "docs/%s" % name in readme, \
                 "README does not link docs/%s" % name
 
@@ -71,6 +78,75 @@ class TestDocsTree:
                 "sweep-engine.md does not document backend %r" % name
 
 
+class TestCLIDrift:
+    """The docs and the parser must agree on the CLI surface: every
+    ``repro <sub>`` a doc mentions exists, and every subcommand the
+    parser registers is documented somewhere."""
+
+    @staticmethod
+    def parser_subcommands():
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        choices = set()
+        for action in parser._subparsers._group_actions:
+            choices |= set(action.choices)
+        return choices
+
+    @staticmethod
+    def documented_subcommands():
+        mentioned = {}
+        for page in doc_pages():
+            for match in SUBCOMMAND_RE.finditer(page.read_text()):
+                mentioned.setdefault(match.group(1), page.name)
+        return mentioned
+
+    def test_every_documented_subcommand_exists(self):
+        choices = self.parser_subcommands()
+        for sub, page in sorted(self.documented_subcommands().items()):
+            assert sub in choices, \
+                "%s mentions 'repro %s', which the parser does not " \
+                "register (doc drift)" % (page, sub)
+
+    def test_every_subcommand_is_documented(self):
+        mentioned = self.documented_subcommands()
+        for sub in sorted(self.parser_subcommands()):
+            assert sub in mentioned, \
+                "subcommand 'repro %s' is documented nowhere under " \
+                "docs/ or README.md" % sub
+
+    def test_serve_is_registered_and_documented(self):
+        assert "serve" in self.parser_subcommands()
+        assert "serve" in self.documented_subcommands()
+
+
+class TestServingDocs:
+    def test_every_registered_endpoint_documented(self):
+        from repro.harness.serve import ENDPOINTS
+
+        text = (DOCS / "serving.md").read_text()
+        for endpoint in ENDPOINTS:
+            assert "`%s`" % endpoint in text, \
+                "serving.md does not document endpoint %r" % endpoint
+
+    def test_every_served_figure_documented(self):
+        from repro.harness.serve import FIGURES
+
+        text = (DOCS / "serving.md").read_text()
+        for name in FIGURES:
+            assert "`%s`" % name in text, \
+                "serving.md does not mention figure %r" % name
+
+    def test_wire_format_contract_cross_linked(self):
+        # The shared disk/TCP/HTTP encoding must cite one contract from
+        # all three consumer docs.
+        serving = (DOCS / "serving.md").read_text()
+        sweep = (DOCS / "sweep-engine.md").read_text()
+        assert "encode_result" in serving and "decode_result" in serving
+        assert "encode_result" in sweep and "decode_result" in sweep
+        assert "serving.md#the-wire-format" in sweep
+
+
 class TestHarnessDoctests:
     """The same examples `pytest --doctest-modules src/repro/harness`
     runs in CI, kept green by the tier-1 suite."""
@@ -79,6 +155,7 @@ class TestHarnessDoctests:
         "repro.harness.cache",
         "repro.harness.remote",
         "repro.harness.runner",
+        "repro.harness.serve",
         "repro.harness.sweep",
         "repro.harness.variants",
     ))

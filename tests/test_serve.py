@@ -1,0 +1,380 @@
+"""The HTTP query service (repro serve / repro.harness.serve).
+
+Covers the acceptance contract of the serving path: warm ``/point`` and
+``/figure`` requests answer without a single executor submission, a cold
+``/point`` populates the ResultCache so the second request is a hit,
+``POST /sweep`` surfaces PointFailures as structured JSON under the
+``on_error`` contract, and concurrent readers never observe torn cache
+entries or leak ``.tmp`` files.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro.harness.figures as figures_mod
+import repro.harness.sweep as sweep_mod
+from repro.errors import ReproError
+from repro.harness.serve import (ENDPOINTS, QueryService, ServeServer,
+                                 point_from_query)
+
+SCALE = "0.08"
+POINT = ("/point?benchmark=BFS&dataset=KRON&label=CDP%%2BT"
+         "&threshold=16&scale=%s" % SCALE)
+
+
+def fetch(server, path, data=None):
+    """(status, decoded JSON body) for one request against *server*."""
+    url = "http://%s:%d%s" % (*server.address, path)
+    payload = json.dumps(data).encode() if data is not None else None
+    try:
+        with urllib.request.urlopen(
+                urllib.request.Request(url, data=payload),
+                timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def banned(*args, **kwargs):
+    raise AssertionError("executor submission on the warm hit path")
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ServeServer(cache_dir=str(tmp_path / "cache"))
+    srv.start()
+    yield srv
+    srv.close()
+
+
+class TestHealthAndRouting:
+    def test_healthz(self, server):
+        status, payload = fetch(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["endpoints"] == list(ENDPOINTS)
+        assert payload["backend"] == "serial"
+        assert isinstance(payload["cache_version"], int)
+
+    def test_unknown_route_404_lists_endpoints(self, server):
+        status, payload = fetch(server, "/nope")
+        assert status == 404
+        assert payload["endpoints"] == list(ENDPOINTS)
+
+    def test_wrong_method_405(self, server):
+        assert fetch(server, "/sweep")[0] == 405            # GET
+        assert fetch(server, "/healthz", data={})[0] == 405  # POST
+
+    def test_unknown_figure_404(self, server):
+        status, payload = fetch(server, "/figure/nope")
+        assert status == 404
+        assert "fig9" in payload["figures"]
+
+    def test_sweep_bad_json_body_400(self, server):
+        url = "http://%s:%d/sweep" % server.address
+        req = urllib.request.Request(url, data=b"not json")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=60)
+        assert info.value.code == 400
+
+    def test_server_survives_errors(self, server):
+        fetch(server, "/point?benchmark=NOPE&dataset=KRON")
+        assert fetch(server, "/healthz")[0] == 200
+
+
+class TestPoint:
+    def test_cold_then_warm_hit_without_executor(self, server, monkeypatch):
+        status, cold = fetch(server, POINT)
+        assert status == 200
+        assert cold["cache"] == "miss"
+        assert cold["result"]["total_time"] > 0
+        assert cold["point"]["label"] == "CDP+T"
+        # The cold miss populated the cache: the second identical request
+        # must be a hit that never reaches the executor or the simulator.
+        monkeypatch.setattr(server.service.executor.backend, "map", banned)
+        monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
+        status, warm = fetch(server, POINT)
+        assert status == 200
+        assert warm["cache"] == "hit"
+        assert warm["result"] == cold["result"]
+        assert warm["key"] == cold["key"]
+
+    def test_unencoded_plus_label_normalized(self, server):
+        assert fetch(server, POINT)[1]["cache"] == "miss"
+        # "label=CDP+T" decodes to "CDP T"; the service canonicalizes it.
+        spaced = POINT.replace("CDP%2BT", "CDP+T")
+        status, payload = fetch(server, spaced)
+        assert status == 200
+        assert payload["point"]["label"] == "CDP+T"
+        assert payload["cache"] == "hit"
+
+    def test_mask_params_canonicalizes_url_specs(self, server, monkeypatch):
+        base = "/point?benchmark=BFS&dataset=KRON&label=CDP&scale=" + SCALE
+        status, cold = fetch(server, base)
+        assert cold["cache"] == "miss"
+        # CDP uses neither threshold nor coarsening: a URL carrying stray
+        # values must land on the same (masked) cache key.
+        monkeypatch.setattr(server.service.executor.backend, "map", banned)
+        status, warm = fetch(server, base + "&threshold=999&coarsen=4")
+        assert status == 200
+        assert warm["cache"] == "hit"
+        assert warm["key"] == cold["key"]
+        assert warm["result"] == cold["result"]
+
+    def test_validation_errors_are_400(self, server):
+        cases = (
+            "/point?dataset=KRON",                            # no benchmark
+            "/point?benchmark=NOPE&dataset=KRON",             # bad benchmark
+            "/point?benchmark=BFS&dataset=NOPE",              # bad dataset
+            "/point?benchmark=BFS&dataset=KRON&label=XX",     # bad label
+            "/point?benchmark=BFS&dataset=KRON&scale=x",      # bad scale
+            "/point?benchmark=BFS&dataset=KRON&threshold=x",  # bad int
+            "/point?benchmark=BFS&dataset=KRON&aggregate=x",  # bad gran
+            "/point?benchmark=BFS&dataset=KRON&bogus=1",      # unknown key
+        )
+        for path in cases:
+            status, payload = fetch(server, path)
+            assert status == 400, path
+            assert payload["error"] == "ServeError", path
+
+    def test_simulator_failure_is_structured_500(self, server, monkeypatch):
+        def boom(point):
+            raise ReproError("synthetic failure")
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", boom)
+        status, payload = fetch(server, POINT)
+        assert status == 500
+        assert payload["status"] == "error"
+        assert payload["error"] == "ReproError"
+        assert payload["message"] == "synthetic failure"
+        assert payload["point"]["benchmark"] == "BFS"
+
+
+class TestSweep:
+    BODY = {"pairs": ["BFS:KRON"], "variants": ["CDP", "CDP+T"],
+            "params": {"threshold": 16}, "scale": float(SCALE)}
+
+    def test_grid_cold_then_warm(self, server):
+        status, cold = fetch(server, "/sweep", data=self.BODY)
+        assert status == 200
+        assert [entry["status"] for entry in cold["results"]] == ["ok", "ok"]
+        assert cold["stats"] == {"points": 2, "hits": 0, "simulated": 2,
+                                 "failed": 0}
+        status, warm = fetch(server, "/sweep", data=self.BODY)
+        assert warm["stats"] == {"points": 2, "hits": 2, "simulated": 0,
+                                 "failed": 0}
+        assert [e["result"] for e in warm["results"]] == \
+            [e["result"] for e in cold["results"]]
+
+    def test_pairs_accept_lists_and_mask_shares_keys(self, server):
+        body = dict(self.BODY, pairs=[["BFS", "KRON"]])
+        status, payload = fetch(server, "/sweep", data=body)
+        assert status == 200
+        # /point for the same effective config must now be a cache hit.
+        status, point = fetch(server, POINT)
+        assert point["cache"] == "hit"
+
+    def test_point_failures_surface_structured(self, server, monkeypatch):
+        real = sweep_mod._simulate_point
+
+        def fail_cdp(point):
+            if point.label == "CDP":
+                raise ReproError("CDP died")
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", fail_cdp)
+        status, payload = fetch(server, "/sweep", data=self.BODY)
+        assert status == 200
+        first, second = payload["results"]
+        assert first["status"] == "error"
+        assert first["error"] == "ReproError"
+        assert first["message"] == "CDP died"
+        assert first["point"]["label"] == "CDP"
+        assert "CDP" in first["describe"]
+        assert second["status"] == "ok"
+        assert payload["stats"]["failed"] == 1
+
+    def test_on_error_raise_maps_to_500(self, server, monkeypatch):
+        def fail_all(point):
+            raise ReproError("nothing works")
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", fail_all)
+        status, payload = fetch(server, "/sweep",
+                                data=dict(self.BODY, on_error="raise"))
+        assert status == 500
+        assert payload["status"] == "error"
+        assert payload["message"] == "nothing works"
+
+    def test_body_validation_400(self, server):
+        cases = (
+            {},                                              # no pairs
+            dict(self.BODY, pairs=["BFSKRON"]),              # bad pair
+            dict(self.BODY, pairs=[]),                       # empty pairs
+            dict(self.BODY, variants=[]),                    # empty variants
+            dict(self.BODY, variants=["XX"]),                # bad label
+            dict(self.BODY, params={"bogus": 1}),            # bad param
+            dict(self.BODY, on_error="explode"),             # bad on_error
+            dict(self.BODY, bogus=1),                        # unknown key
+        )
+        for body in cases:
+            status, payload = fetch(server, "/sweep", data=body)
+            assert status == 400, body
+            assert payload["error"] == "ServeError", body
+
+
+class TestFigure:
+    PATH = "/figure/fig11?benchmark=BFS&dataset=KRON&scale=" + SCALE
+
+    def test_read_through_artifact_cache(self, server, monkeypatch):
+        status, cold = fetch(server, self.PATH)
+        assert status == 200
+        assert cold["cache"] == "miss"
+        assert "Figure 11" in cold["text"]
+        # Warm fetch: neither the figure builder's direct runs nor the
+        # executor may fire — the artifact cache answers alone.
+        monkeypatch.setattr(figures_mod, "run_variant", banned)
+        monkeypatch.setattr(server.service.executor.backend, "map", banned)
+        monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
+        status, warm = fetch(server, self.PATH)
+        assert status == 200
+        assert warm["cache"] == "hit"
+        assert warm["text"] == cold["text"]
+
+    def test_unknown_param_400(self, server):
+        status, payload = fetch(server, "/figure/table1?strategy=guided")
+        assert status == 400
+        status, payload = fetch(server, self.PATH + "&strategy=guided")
+        assert status == 400
+
+    def test_bad_strategy_400(self, server):
+        assert fetch(server, "/figure/fig12?strategy=nope")[0] == 400
+
+    def test_warm_requests_bypass_the_miss_lock(self, server):
+        """Warm /point and /figure hits must stay interactive while a
+        slow cold request holds the miss lock."""
+        fetch(server, POINT)
+        fetch(server, self.PATH)
+        with server.service._miss_lock:     # a cold request in flight
+            status, point = fetch(server, POINT)
+            assert status == 200 and point["cache"] == "hit"
+            status, figure = fetch(server, self.PATH)
+            assert status == 200 and figure["cache"] == "hit"
+
+
+class TestCacheInfo:
+    def test_schema_and_counters(self, server):
+        fetch(server, POINT)            # miss
+        fetch(server, POINT)            # hit
+        status, payload = fetch(server, "/cache/info")
+        assert status == 200
+        assert payload["info"]["result_entries"] == 1
+        assert payload["info"]["result_bytes"] > 0
+        # Exactly one logical miss and one hit: the optimistic pre-check
+        # must not double-count the executor's authoritative miss.
+        assert payload["results"] == {"hits": 1, "misses": 1}
+        assert payload["figures"] == {"hits": 0, "misses": 0}
+        assert payload["executor"]["simulated"] == 1
+        assert payload["backend"] == "serial"
+
+    def test_cacheless_service(self, tmp_path):
+        srv = ServeServer(cache_dir=None)
+        srv.start()
+        try:
+            status, info = fetch(srv, "/cache/info")
+            assert status == 200
+            assert info["cache_dir"] is None and info["info"] is None
+            status, point = fetch(srv, POINT)
+            assert status == 200
+            assert point["cache"] == "miss"
+            # No cache: the "second" request is a miss too.
+            assert fetch(srv, POINT)[1]["cache"] == "miss"
+        finally:
+            srv.close()
+
+
+class TestConcurrentReaders:
+    """Satellite: readers hammering a warm cache see no torn reads, and
+    the PR 2 stale-.tmp sweeping can run under that load without
+    disturbing them or leaving droppings behind."""
+
+    def test_concurrent_point_and_info_reads(self, server):
+        warm = {"pairs": ["BFS:KRON", "SSSP:KRON"],
+                "variants": ["CDP", "CDP+T"],
+                "params": {"threshold": 16}, "scale": float(SCALE)}
+        status, seeded = fetch(server, "/sweep", data=warm)
+        assert status == 200 and seeded["stats"]["failed"] == 0
+        paths, expected = [], {}
+        for bench in ("BFS", "SSSP"):
+            for label in ("CDP", "CDP%2BT"):
+                path = ("/point?benchmark=%s&dataset=KRON&label=%s"
+                        "&threshold=16&scale=%s" % (bench, label, SCALE))
+                status, payload = fetch(server, path)
+                assert status == 200 and payload["cache"] == "hit"
+                paths.append(path)
+                expected[path] = payload["result"]
+
+        cache = server.service.cache
+        cache_dir = Path(cache.cache_dir)
+        (cache_dir / "stranded.tmp").write_text("x")     # PR 2 sweep bait
+        errors = []
+
+        def reader(path):
+            try:
+                for _ in range(5):
+                    status, payload = fetch(server, path)
+                    if status != 200:
+                        errors.append((path, status, payload))
+                    elif payload["cache"] != "hit" \
+                            or payload["result"] != expected[path]:
+                        errors.append((path, "torn", payload))
+                    status, info = fetch(server, "/cache/info")
+                    if status != 200 or info["info"]["result_entries"] < 4:
+                        errors.append(("/cache/info", status, info))
+            except Exception as exc:             # noqa: BLE001
+                errors.append((path, "exception", repr(exc)))
+
+        def sweeper():
+            try:
+                for _ in range(5):
+                    cache.prune(tmp_max_age=0)
+            except Exception as exc:             # noqa: BLE001
+                errors.append(("prune", "exception", repr(exc)))
+
+        threads = [threading.Thread(target=reader, args=(path,))
+                   for path in paths * 2] + \
+                  [threading.Thread(target=sweeper)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[:3]
+        assert not list(cache_dir.glob("*.tmp")), "stale .tmp survived"
+        assert not list((cache_dir / "figures").glob("*.tmp"))
+        # The four warm entries themselves must have survived the sweeps.
+        assert len(list(cache_dir.glob("*.json"))) == 4
+
+
+class TestPointFromQuery:
+    def test_canonical_point_roundtrip(self):
+        point = point_from_query({"benchmark": "BFS", "dataset": "KRON",
+                                  "label": "CDP+T", "threshold": "16",
+                                  "scale": SCALE})
+        assert point.describe() == "BFS/KRON CDP+T [T=16] @0.08"
+
+    def test_masking_applied(self):
+        bare = point_from_query({"benchmark": "BFS", "dataset": "KRON"})
+        noisy = point_from_query({"benchmark": "BFS", "dataset": "KRON",
+                                  "threshold": "64", "coarsen": "8",
+                                  "group_blocks": "4"})
+        assert bare == noisy                 # CDP masks all of them
+
+    def test_service_close_is_idempotent(self, tmp_path):
+        service = QueryService(cache_dir=str(tmp_path / "c"))
+        service.close()
+        service.close()
