@@ -1,0 +1,181 @@
+"""Serving-path benchmark: the per-commit ``BENCH_serve.json`` artifact.
+
+Runs a small pinned workload against an in-process ``repro serve``
+instance — cold sweep, warm sweep, warm-point latency, and a concurrent
+same-spec dedup probe — and writes wall-times plus the hit/miss/dedup
+counters to a JSON artifact. CI's ``bench-trend`` job uploads it on
+every push, so the serving perf trajectory is recorded per commit
+(``docs/serving.md`` points operators at the same numbers).
+
+Standalone on purpose (no pytest-benchmark): the artifact must exist
+even on runners without the benchmarking extras.
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+Exit status is non-zero when the counters contradict the serving
+contract (e.g. a warm sweep that simulated something, or a dedup probe
+that ran twice) — a lying benchmark is worse than none.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+#: The pinned workload: small enough for CI, big enough to show the
+#: cold/warm cliff. Changing it breaks trend comparability — bump
+#: ``schema`` if you must.
+PAIRS = ["BFS:KRON", "SSSP:KRON"]
+VARIANTS = ["CDP", "CDP+T"]
+THRESHOLD = 16
+SCALE = 0.08
+DEDUP_QUERY = ("/point?benchmark=BFS&dataset=KRON&label=CDP%2BT"
+               "&threshold=64&scale=" + str(SCALE))
+WARM_POINT_SAMPLES = 25
+
+
+def request(address, path, data=None, timeout=300):
+    url = "http://%s:%d%s" % (*address, path)
+    payload = json.dumps(data).encode() if data is not None else None
+    with urllib.request.urlopen(
+            urllib.request.Request(url, data=payload),
+            timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def check(condition, message, failures):
+    if not condition:
+        failures.append(message)
+        print("FAIL: %s" % message, file=sys.stderr)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="artifact path (default BENCH_serve.json)")
+    parser.add_argument("--miss-workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro import __version__
+    from repro.harness.cache import CACHE_VERSION
+    from repro.harness.serve import ServeServer
+
+    failures = []
+    body = {"pairs": PAIRS, "variants": VARIANTS,
+            "params": {"threshold": THRESHOLD}, "scale": SCALE}
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        server = ServeServer(cache_dir=cache_dir,
+                             miss_workers=args.miss_workers)
+        address = server.start()
+        try:
+            grid = len(PAIRS) * len(VARIANTS)
+            cold_seconds, cold = timed(
+                lambda: request(address, "/sweep", data=body))
+            check(cold["stats"]["simulated"] == grid,
+                  "cold sweep simulated %r, wanted %d"
+                  % (cold["stats"], grid), failures)
+            warm_seconds, warm = timed(
+                lambda: request(address, "/sweep", data=body))
+            check(warm["stats"] == {"points": grid, "hits": grid,
+                                    "simulated": 0, "failed": 0},
+                  "warm sweep was not all-hits: %r" % (warm["stats"],),
+                  failures)
+
+            point_path = ("/point?benchmark=BFS&dataset=KRON"
+                          "&label=CDP%2BT&threshold=16&scale=" + str(SCALE))
+            latencies = []
+            for _ in range(WARM_POINT_SAMPLES):
+                seconds, payload = timed(
+                    lambda: request(address, point_path))
+                check(payload["cache"] == "hit",
+                      "warm /point missed", failures)
+                latencies.append(seconds)
+
+            # Dedup probe: two concurrent cold requests for one fresh
+            # masked spec must cost exactly one simulation.
+            info_before = request(address, "/cache/info")
+            results = []
+
+            def cold_hit():
+                results.append(request(address, DEDUP_QUERY))
+
+            threads = [threading.Thread(target=cold_hit)
+                       for _ in range(2)]
+            dedup_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            dedup_seconds = time.perf_counter() - dedup_started
+            info_after = request(address, "/cache/info")
+            simulated_delta = (info_after["executor"]["simulated"]
+                               - info_before["executor"]["simulated"])
+            joins_delta = (info_after["queue"]["dedup_joins"]
+                           - info_before["queue"]["dedup_joins"])
+            check(simulated_delta == 1,
+                  "dedup probe simulated %d times" % simulated_delta,
+                  failures)
+            check(len(results) == 2
+                  and results[0]["result"] == results[1]["result"],
+                  "dedup probe responses disagree", failures)
+
+            metrics_seconds, metrics_text = timed(
+                lambda: urllib.request.urlopen(
+                    "http://%s:%d/metrics" % address,
+                    timeout=60).read().decode())
+            check("repro_queue_dedup_joins_total" in metrics_text,
+                  "/metrics is missing queue series", failures)
+
+            artifact = {
+                "schema": 1,
+                "versions": {"code": __version__,
+                             "cache": CACHE_VERSION},
+                "workload": {"pairs": PAIRS, "variants": VARIANTS,
+                             "threshold": THRESHOLD, "scale": SCALE,
+                             "miss_workers": args.miss_workers},
+                "cold_sweep_seconds": round(cold_seconds, 6),
+                "warm_sweep_seconds": round(warm_seconds, 6),
+                "cold_over_warm": round(cold_seconds
+                                        / max(warm_seconds, 1e-9), 2),
+                "warm_point_seconds": {
+                    "p50": round(statistics.median(latencies), 6),
+                    "max": round(max(latencies), 6),
+                    "samples": len(latencies)},
+                "dedup_probe": {"wall_seconds": round(dedup_seconds, 6),
+                                "simulated": simulated_delta,
+                                "dedup_joins": joins_delta},
+                "metrics_scrape": {"seconds": round(metrics_seconds, 6),
+                                   "bytes": len(metrics_text)},
+                "counters": {"executor": info_after["executor"],
+                             "queue": info_after["queue"],
+                             "results": info_after["results"]},
+                "failures": failures,
+            }
+        finally:
+            server.close()
+
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    print("cold sweep  %.3fs   warm sweep %.4fs   warm point p50 %.4fs"
+          % (artifact["cold_sweep_seconds"],
+             artifact["warm_sweep_seconds"],
+             artifact["warm_point_seconds"]["p50"]))
+    print("dedup probe %.3fs   simulated=%d joins=%d"
+          % (dedup_seconds, simulated_delta, joins_delta))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

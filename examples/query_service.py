@@ -19,6 +19,7 @@ Run:  python examples/query_service.py [scale]
 import json
 import sys
 import tempfile
+import threading
 import time
 import urllib.request
 
@@ -73,7 +74,33 @@ def main():
     print("GET /figure/fig11 (warm)  %7.1f ms   cache=%s"
           % (fig_warm_s * 1e3, fig["cache"]))
 
+    # Two concurrent cold requests for one fresh spec: the scheduler
+    # dedups them into a single simulation (docs/serving.md).
+    dedup = point.replace("threshold=16", "threshold=64")
+    outcomes = []
+
+    def cold_hit():
+        outcomes.append(fetch(base, dedup))
+
+    threads = [threading.Thread(target=cold_hit) for _ in range(2)]
+    dedup_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    dedup_s = time.perf_counter() - dedup_started
+    assert outcomes[0][0]["result"] == outcomes[1][0]["result"]
+
     info, _ = fetch(base, "/cache/info")
+    print("2x GET /point (same cold) %7.1f ms   simulated once, "
+          "%d dedup join(s)" % (dedup_s * 1e3,
+                                info["queue"]["dedup_joins"]))
+
+    with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
+        series = sum(1 for line in resp.read().decode().splitlines()
+                     if line and not line.startswith("#"))
+    print("GET /metrics              %7d Prometheus samples" % series)
+
     print("\ncache after the session: %d result entries, %d figure "
           "artifacts (%d bytes)"
           % (info["info"]["result_entries"],

@@ -372,6 +372,8 @@ def cmd_worker(args):
 
 
 def cmd_serve(args):
+    import signal
+
     from .harness.serve import ServeServer
 
     cache_dir = None if args.no_cache else args.cache_dir
@@ -379,7 +381,9 @@ def cmd_serve(args):
         server = ServeServer(host=args.host, port=args.port, quiet=False,
                              cache_dir=cache_dir, jobs=args.jobs,
                              backend=args.backend, workers=args.workers,
-                             worker_timeout=args.worker_timeout)
+                             worker_timeout=args.worker_timeout,
+                             miss_workers=args.miss_workers,
+                             max_pending=args.max_pending)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -388,15 +392,31 @@ def cmd_serve(args):
               file=sys.stderr)
         return 1
     host, port = server.address
-    print("repro serve listening on http://%s:%d/ (backend=%s, cache=%s)"
+    print("repro serve listening on http://%s:%d/ (backend=%s, cache=%s, "
+          "miss-workers=%d, max-pending=%d)"
           % (host, port, server.service.executor.backend.name,
-             cache_dir or "disabled"), flush=True)
+             cache_dir or "disabled", args.miss_workers, args.max_pending),
+          flush=True)
+
+    def _sigterm(signum, frame):
+        # Route SIGTERM through the same graceful-drain path as Ctrl-C:
+        # serve_forever unwinds, then close() drains in-flight misses.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.close()
+        signal.signal(signal.SIGTERM, previous)
+        queue = server.service.scheduler.stats_dict()
+        pending = queue["depth"] + queue["inflight"]
+        if pending:
+            print("repro serve: draining %d in-flight miss task(s)..."
+                  % pending, flush=True)
+        server.close(drain=True)
+        print("repro serve: drained, bye", flush=True)
     return 0
 
 
@@ -519,15 +539,29 @@ def build_parser():
 
     p_serve = sub.add_parser(
         "serve", help="run the long-lived HTTP query service over the "
-                      "warm caches (GET /healthz, /cache/info, /point, "
-                      "/figure/<name>; POST /sweep — see docs/serving.md); "
-                      "misses route through the sweep engine "
+                      "warm caches (GET /healthz, /cache/info, /metrics, "
+                      "/point, /figure/<name>; POST /sweep, /shutdown — "
+                      "see docs/serving.md); misses route through a "
+                      "bounded FIFO scheduler (--miss-workers/"
+                      "--max-pending) over the sweep engine "
                       "(--jobs/--backend/--workers)")
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="interface to bind (default 127.0.0.1)")
     p_serve.add_argument("--port", type=int, default=0,
                          help="port to bind (default 0: pick an ephemeral "
                               "port and print it)")
+    p_serve.add_argument("--miss-workers", type=int, default=2,
+                         metavar="N",
+                         help="concurrent miss executors draining the "
+                              "request queue (default 2); each owns its "
+                              "own backend, so cold requests for distinct "
+                              "points overlap while requests for the same "
+                              "point share one computation")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         metavar="N",
+                         help="bound on queued miss tasks (default 64); "
+                              "past it cold requests get 503 backpressure "
+                              "instead of piling onto the simulator")
     _add_sweep_flags(p_serve, default_cache=".repro-cache")
     p_serve.set_defaults(func=cmd_serve)
 

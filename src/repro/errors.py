@@ -64,5 +64,22 @@ class ServeError(ReproError):
     """
 
 
+class QueueError(ReproError):
+    """Base class for request-scheduler rejections.
+
+    ``repro serve`` maps these to 503 responses: the request was
+    well-formed but the service cannot take it right now (back off and
+    retry). See ``docs/serving.md``.
+    """
+
+
+class QueueFullError(QueueError):
+    """The miss queue is at capacity (backpressure): retry later."""
+
+
+class QueueClosedError(QueueError):
+    """The scheduler is draining/stopped and accepts no new work."""
+
+
 class RuntimeLaunchError(ReproError):
     """Raised by the host runtime on invalid launches or allocations."""

@@ -13,6 +13,9 @@ from .runner import (RunResult, child_launch_sizes, geomean, outputs_match,
 from .sweep import (BACKENDS, Backend, PointFailure, SweepExecutor,
                     SweepPoint, SweepPointError, SweepStats, make_backend,
                     run_sweep, sweep_grid)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      REGISTRY)
+from .queue import MissTask, RequestScheduler
 from .remote import (RemoteBackend, RemoteError, RemoteHandshakeError,
                      RemoteProtocolError, RemoteWorkerError, WorkerServer,
                      parse_workers, worker_ping, worker_stop)
@@ -33,6 +36,8 @@ __all__ = [
     "RemoteBackend", "RemoteError", "RemoteHandshakeError",
     "RemoteProtocolError", "RemoteWorkerError", "WorkerServer",
     "parse_workers", "worker_ping", "worker_stop",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "MissTask", "RequestScheduler",
     "ENDPOINTS", "QueryService", "ServeServer",
     "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
     "Table1Result", "figure9", "figure10", "figure11", "figure12",

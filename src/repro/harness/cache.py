@@ -37,7 +37,22 @@ import time
 from dataclasses import dataclass
 
 from .. import __version__
+from .metrics import REGISTRY
 from .runner import RunResult
+
+#: Cache traffic across every cache instance in the process, labelled by
+#: which cache (``result``/``figure``) and how the lookup resolved.
+#: Uncounted optimistic pre-checks (``count_miss=False`` misses) are not
+#: recorded, mirroring the instance counters (see :meth:`ResultCache.get`).
+_LOOKUPS = REGISTRY.counter(
+    "repro_cache_lookups_total",
+    "Cache lookups by cache kind and outcome", ("cache", "outcome"))
+_STORES = REGISTRY.counter(
+    "repro_cache_stores_total",
+    "Entries written (atomically) into a cache", ("cache",))
+_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Entries dropped by prune/clear/corruption sweeps", ("reason",))
 
 #: Bump when the cached representation or the simulator semantics change.
 #: 2: sweep_grid/figure11 canonicalize group_blocks via mask_params, so
@@ -243,14 +258,18 @@ class ResultCache:
         except FileNotFoundError:
             if count_miss:
                 self.misses += 1
+                _LOOKUPS.inc(cache="result", outcome="miss")
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted/truncated entry: drop it so the point re-simulates.
             _remove_quietly(path)
+            _EVICTIONS.inc(reason="corrupt")
             if count_miss:
                 self.misses += 1
+                _LOOKUPS.inc(cache="result", outcome="miss")
             return None
         self.hits += 1
+        _LOOKUPS.inc(cache="result", outcome="hit")
         _touch(path)
         return result
 
@@ -273,6 +292,7 @@ class ResultCache:
         finally:
             if os.path.exists(tmp):
                 os.remove(tmp)
+        _STORES.inc(cache="result")
         return True
 
     # -- lifecycle ------------------------------------------------------------
@@ -327,6 +347,7 @@ class ResultCache:
         removed = 0
         for path, _, _ in entries + tmp_files:
             removed += _remove_quietly(path)
+        _EVICTIONS.inc(removed, reason="clear")
         return removed
 
     def prune(self, max_entries=None, max_bytes=None,
@@ -355,6 +376,8 @@ class ResultCache:
                 report.removed_bytes += size
             remaining -= 1
             total_bytes -= size
+        _EVICTIONS.inc(report.removed_entries + report.removed_tmp,
+                       reason="prune")
         return report
 
 
@@ -392,15 +415,19 @@ class FigureArtifactCache:
         except FileNotFoundError:
             if count_miss:
                 self.misses += 1
+                _LOOKUPS.inc(cache="figure", outcome="miss")
             return None
         except Exception:
             # Corrupted/truncated artifact (pickle can raise nearly
             # anything): drop it and regenerate.
             _remove_quietly(path)
+            _EVICTIONS.inc(reason="corrupt")
             if count_miss:
                 self.misses += 1
+                _LOOKUPS.inc(cache="figure", outcome="miss")
             return None
         self.hits += 1
+        _LOOKUPS.inc(cache="figure", outcome="hit")
         _touch(path)
         return artifact
 
@@ -415,4 +442,5 @@ class FigureArtifactCache:
         finally:
             if os.path.exists(tmp):
                 os.remove(tmp)
+        _STORES.inc(cache="figure")
         return True

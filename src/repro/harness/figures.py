@@ -93,6 +93,16 @@ def _run_point(bench, data, label, params, device_config, executor, scale,
 class Table1Result:
     rows: list
 
+    def to_dict(self):
+        """Structured JSON form (the default ``GET /figure/table1``
+        payload — see ``docs/serving.md``)."""
+        return {"kind": "table1",
+                "title": "Table I: benchmarks and datasets "
+                         "(scaled reproduction)",
+                "rows": [{"benchmark": bench, "dataset": dataset,
+                          "size": size}
+                         for bench, dataset, size in self.rows]}
+
     def format(self):
         return _format_table(
             ("Benchmark", "Dataset", "Size"), self.rows,
@@ -135,6 +145,24 @@ class SpeedupFigure:
     speedups: dict                    # (bench, ds) -> {label: speedup}
     best_params: dict = field(default_factory=dict)
     # (bench, ds, label) -> TuningParams
+
+    def to_dict(self):
+        """Structured JSON form: per-pair speedup rows, the geomean
+        summary, and the tuned parameters behind each cell (the default
+        ``GET /figure/<name>`` payload — see ``docs/serving.md``)."""
+        return {
+            "kind": "speedup",
+            "title": self.title,
+            "rows": [{"benchmark": bench, "dataset": dataset,
+                      "speedups": dict(self.speedups[(bench, dataset)])}
+                     for bench, dataset in self.pairs],
+            "geomeans": self.geomeans(),
+            "best_params": [
+                {"benchmark": bench, "dataset": dataset, "label": label,
+                 "params": asdict(params)}
+                for (bench, dataset, label), params
+                in self.best_params.items()],
+        }
 
     def geomeans(self):
         # Union of labels across every row (a label missing from the
@@ -227,6 +255,21 @@ class BreakdownFigure:
     COMPONENTS = ("parent", "child", "launch", "agg", "disagg")
     LABELS = ("KLAP (CDP+A)", "CDP+T+A", "CDP+T+C+A")
 
+    def to_dict(self):
+        """Structured JSON form: one row per (pair, variant) with the
+        normalized component breakdown (``docs/serving.md``)."""
+        return {
+            "kind": "breakdown",
+            "title": self.title,
+            "components": list(self.COMPONENTS),
+            "rows": [{"benchmark": bench, "dataset": dataset,
+                      "variant": label,
+                      "normalized": dict(by_label[label]),
+                      "total": sum(by_label[label].values())}
+                     for (bench, dataset), by_label in self.rows.items()
+                     for label in self.LABELS],
+        }
+
     def format(self):
         headers = ["Benchmark", "Dataset", "Variant"] + list(self.COMPONENTS) \
             + ["total"]
@@ -286,6 +329,24 @@ class SweepFigure:
     coarsen_factor: int
     thresholds: list
     series: dict      # granularity-label -> {threshold: speedup-over-CDP}
+
+    def to_dict(self):
+        """Structured JSON form: the threshold axis plus one series per
+        granularity; the unthresholded cell keys as ``"none"`` (JSON
+        object keys must be strings — ``docs/serving.md``)."""
+        def key(threshold):
+            return "none" if threshold is None else str(threshold)
+        return {
+            "kind": "threshold-sweep",
+            "title": self.title,
+            "benchmark": self.benchmark,
+            "dataset": self.dataset,
+            "coarsen_factor": self.coarsen_factor,
+            "thresholds": [key(t) for t in self.thresholds],
+            "series": {label: {key(t): value
+                               for t, value in points.items()}
+                       for label, points in self.series.items()},
+        }
 
     def format(self):
         headers = ["Threshold"] + list(self.series.keys())
@@ -413,6 +474,21 @@ class FixedThresholdResult:
     tuned_geomean: float
     fixed_geomean: float
     per_pair: dict
+
+    def to_dict(self):
+        """Structured JSON form: per-pair tuned-vs-fixed speedups plus
+        the two geomeans (``docs/serving.md``)."""
+        return {
+            "kind": "fixed-threshold",
+            "title": "Sec. VIII-C: CDP+T+C+A speedup over CDP+C+A, "
+                     "tuned threshold vs fixed threshold 128",
+            "rows": [{"benchmark": bench, "dataset": dataset,
+                      "tuned": tuned, "fixed": fixed}
+                     for (bench, dataset), (tuned, fixed)
+                     in self.per_pair.items()],
+            "geomeans": {"tuned": self.tuned_geomean,
+                         "fixed": self.fixed_geomean},
+        }
 
     def format(self):
         rows = [(b, d, "%.2f" % v[0], "%.2f" % v[1])

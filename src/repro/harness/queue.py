@@ -1,0 +1,313 @@
+"""Request scheduler for the query service's miss path.
+
+PR 4's ``repro serve`` serialized every cache miss behind one executor
+lock, so a single cold ``/sweep`` stalled every other cold request. This
+module replaces that lock with a :class:`RequestScheduler`: a bounded
+FIFO work queue drained by a configurable number of worker threads
+(``--miss-workers``), each owning its own
+:class:`~repro.harness.sweep.SweepExecutor` (the sweep backends are not
+safe for concurrent ``map`` calls, so concurrency comes from *multiple*
+executors sharing one :class:`~repro.harness.cache.ResultCache`, which
+is multi-process safe by construction).
+
+Semantics:
+
+* **Per-point in-flight deduplication.** Tasks are keyed by
+  :func:`~repro.harness.cache.point_key` (the masked, content-addressed
+  spec): while a point is queued or running, further submissions for the
+  same key *join* the existing task instead of enqueueing a duplicate —
+  two concurrent cold requests for one spec cost exactly one
+  simulation.
+* **Fair FIFO ordering.** Tasks start in strict submission order;
+  a request's points enqueue atomically at submit time, so no request
+  can jump an earlier one (and a warm hit never enters the queue at
+  all — the lock-free hit path is untouched).
+* **Bounded queue / backpressure.** At most *max_pending* tasks may be
+  queued; past that :meth:`submit` raises
+  :class:`~repro.errors.QueueFullError`, which the HTTP layer maps to
+  ``503`` so clients back off instead of piling onto a saturated
+  simulator.
+* **Graceful drain.** :meth:`close` (``drain=True``, the default) stops
+  intake, lets queued and in-flight tasks finish, then joins the
+  workers — an in-flight miss is never killed mid-write. With
+  ``drain=False`` pending tasks resolve to structured
+  :class:`~repro.harness.sweep.PointFailure` entries so no waiter hangs.
+
+Every transition is mirrored into :mod:`repro.harness.metrics`
+(``repro_queue_*`` series) and counted on the instance
+(:meth:`stats_dict`, surfaced by ``GET /cache/info``).
+"""
+
+import threading
+import time
+from collections import deque
+
+from ..errors import QueueClosedError, QueueFullError
+from .cache import point_key
+from .metrics import REGISTRY
+from .sweep import PointFailure
+
+__all__ = ["MissTask", "RequestScheduler"]
+
+_SUBMITTED = REGISTRY.counter(
+    "repro_queue_submitted_total",
+    "Miss tasks accepted into the scheduler queue")
+_DEDUP_JOINS = REGISTRY.counter(
+    "repro_queue_dedup_joins_total",
+    "Submissions that joined an already queued/running task for the "
+    "same point key instead of enqueueing a duplicate")
+_REJECTED = REGISTRY.counter(
+    "repro_queue_rejected_total",
+    "Submissions rejected by the scheduler", ("reason",))
+_COMPLETED = REGISTRY.counter(
+    "repro_queue_completed_total",
+    "Miss tasks finished by a scheduler worker", ("outcome",))
+_DEPTH = REGISTRY.gauge(
+    "repro_queue_depth", "Tasks waiting in the scheduler queue")
+_INFLIGHT = REGISTRY.gauge(
+    "repro_queue_inflight", "Tasks currently running on a worker")
+_WAIT = REGISTRY.histogram(
+    "repro_queue_wait_seconds",
+    "Seconds a task waited between submission and execution start")
+
+
+class MissTask:
+    """One scheduled miss: a point, its key, and a completion event.
+
+    Multiple requests may hold the same task (dedup joins); each calls
+    :meth:`RequestScheduler.result` to block for the shared outcome.
+    """
+
+    __slots__ = ("key", "point", "event", "result", "joins",
+                 "submitted_at")
+
+    def __init__(self, key, point):
+        self.key = key
+        self.point = point
+        self.event = threading.Event()
+        self.result = None
+        self.joins = 0
+        self.submitted_at = time.perf_counter()
+
+
+class RequestScheduler:
+    """Bounded FIFO miss queue with dedup, worker threads, and drain.
+
+    *executors* is a non-empty list of
+    :class:`~repro.harness.sweep.SweepExecutor`\\ s — one dedicated
+    worker thread per executor (the executors should share one cache but
+    must not share a backend). The scheduler does **not** own the
+    executors; callers close them after :meth:`close` returns.
+    """
+
+    def __init__(self, executors, max_pending=64):
+        executors = list(executors)
+        if not executors:
+            raise ValueError("RequestScheduler needs at least one executor")
+        self.max_pending = max(1, int(max_pending))
+        self._cond = threading.Condition()
+        self._queue = deque()
+        self._by_key = {}               # key -> queued/running MissTask
+        self._running = 0
+        self._closed = False
+        # Instance-exact counters (the global REGISTRY aggregates across
+        # every scheduler in the process; these back /cache/info).
+        self.submitted = 0
+        self.dedup_joins = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self._threads = [
+            threading.Thread(target=self._worker, args=(executor,),
+                             name="repro-miss-%d" % index, daemon=True)
+            for index, executor in enumerate(executors)]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def workers(self):
+        return len(self._threads)
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(self, point):
+        """Queue *point* (or join its in-flight task); returns the
+        :class:`MissTask` to :meth:`result` on.
+
+        Raises :class:`~repro.errors.QueueFullError` when *max_pending*
+        tasks are already queued and
+        :class:`~repro.errors.QueueClosedError` once the scheduler is
+        draining — both well-formed-but-unservable (HTTP 503).
+        """
+        key = point_key(point)
+        with self._cond:
+            if self._closed:
+                self.rejected += 1
+                _REJECTED.inc(reason="closed")
+                raise QueueClosedError(
+                    "the miss scheduler is shutting down")
+            task = self._by_key.get(key)
+            if task is not None:
+                task.joins += 1
+                self.dedup_joins += 1
+                _DEDUP_JOINS.inc()
+                return task
+            if len(self._queue) >= self.max_pending:
+                self.rejected += 1
+                _REJECTED.inc(reason="full")
+                raise QueueFullError(
+                    "miss queue full (%d tasks pending; retry later)"
+                    % len(self._queue))
+            task = MissTask(key, point)
+            self._by_key[key] = task
+            self._queue.append(task)
+            self.submitted += 1
+            _SUBMITTED.inc()
+            _DEPTH.inc()
+            self._cond.notify()
+            return task
+
+    def submit_all(self, points):
+        """Atomically queue a batch in order (one lock hold, so another
+        request cannot interleave into the middle of this one); returns
+        one task per point, deduplicated like :meth:`submit`."""
+        with self._cond:
+            if self._closed:
+                self.rejected += 1
+                _REJECTED.inc(reason="closed")
+                raise QueueClosedError(
+                    "the miss scheduler is shutting down")
+            # Plan first, mutate nothing: a rejected batch must leave
+            # every counter (and other requests' live tasks) untouched.
+            plan = []                   # (task, joined_existing)
+            fresh = []
+            for point in points:
+                key = point_key(point)
+                task = self._by_key.get(key)
+                if task is None:
+                    task = next((t for t in fresh if t.key == key), None)
+                joined = task is not None
+                if not joined:
+                    task = MissTask(key, point)
+                    fresh.append(task)
+                plan.append((task, joined))
+            if len(self._queue) + len(fresh) > self.max_pending:
+                self.rejected += 1
+                _REJECTED.inc(reason="full")
+                raise QueueFullError(
+                    "miss queue full (%d pending + %d new > %d; retry "
+                    "later)" % (len(self._queue), len(fresh),
+                                self.max_pending))
+            tasks = [task for task, _ in plan]
+            for task, joined in plan:
+                if joined:
+                    task.joins += 1
+                    self.dedup_joins += 1
+                    _DEDUP_JOINS.inc()
+            for task in fresh:
+                self._by_key[task.key] = task
+                self._queue.append(task)
+                self.submitted += 1
+                _SUBMITTED.inc()
+            _DEPTH.inc(len(fresh))
+            self._cond.notify(len(fresh))
+        return tasks
+
+    def result(self, task, timeout=None):
+        """Block until *task* completes; returns its
+        :class:`~repro.harness.runner.RunResult` or
+        :class:`~repro.harness.sweep.PointFailure`. Raises ``TimeoutError``
+        past *timeout* seconds (the task keeps running)."""
+        if not task.event.wait(timeout):
+            raise TimeoutError("miss task %s not done after %ss"
+                               % (task.point.describe(), timeout))
+        return task.result
+
+    # -- execution ------------------------------------------------------------
+
+    def _worker(self, executor):
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:          # closed and drained
+                    return
+                task = self._queue.popleft()
+                self._running += 1
+                _DEPTH.dec()
+                _INFLIGHT.inc()
+            _WAIT.observe(time.perf_counter() - task.submitted_at)
+            try:
+                result = executor.run_one(task.point, on_error="continue")
+            except Exception as exc:        # noqa: BLE001 — keep draining
+                result = PointFailure(task.point, type(exc).__name__,
+                                      str(exc))
+            self._finish(task, result)
+
+    def _finish(self, task, result):
+        failed = isinstance(result, PointFailure)
+        with self._cond:
+            self._by_key.pop(task.key, None)
+            self._running -= 1
+            self.completed += 1
+            self.failed += failed
+            _INFLIGHT.dec()
+            _COMPLETED.inc(outcome="failed" if failed else "ok")
+            task.result = result
+            task.event.set()
+            self._cond.notify_all()
+
+    # -- introspection --------------------------------------------------------
+
+    def stats_dict(self):
+        """JSON-able scheduler counters (the ``queue`` block of
+        ``GET /cache/info``)."""
+        with self._cond:
+            return {"workers": self.workers,
+                    "max_pending": self.max_pending,
+                    "depth": len(self._queue),
+                    "inflight": self._running,
+                    "submitted": self.submitted,
+                    "dedup_joins": self.dedup_joins,
+                    "rejected": self.rejected,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "draining": self._closed}
+
+    # -- shutdown -------------------------------------------------------------
+
+    def close(self, drain=True, timeout=None):
+        """Stop intake and shut the workers down.
+
+        ``drain=True`` (default): queued and in-flight tasks finish
+        first — the graceful path ``repro serve`` takes on SIGTERM /
+        Ctrl-C / ``POST /shutdown``. ``drain=False``: pending tasks are
+        resolved immediately as ``QueueClosedError``
+        :class:`~repro.harness.sweep.PointFailure`\\ s (in-flight tasks
+        still run to completion; a worker thread cannot be interrupted
+        mid-simulation). *timeout* bounds the whole wait; returns True
+        when every worker exited. Idempotent.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    task = self._queue.popleft()
+                    self._by_key.pop(task.key, None)
+                    self.completed += 1
+                    self.failed += 1
+                    _COMPLETED.inc(outcome="failed")
+                    _DEPTH.dec()
+                    task.result = PointFailure(
+                        task.point, "QueueClosedError",
+                        "service shut down before this point ran")
+                    task.event.set()
+            self._cond.notify_all()
+        done = True
+        for thread in self._threads:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+            done = done and not thread.is_alive()
+        return done

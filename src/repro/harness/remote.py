@@ -57,7 +57,22 @@ from collections import deque
 from .. import __version__
 from ..errors import ReproError
 from .cache import CACHE_VERSION, decode_result, encode_result
+from .metrics import REGISTRY
 from .sweep import BACKENDS, Backend, SweepPoint, _auto_chunk, make_backend
+
+#: Fleet observability (``GET /metrics`` on a coordinator that serves):
+#: live connections, workers declared dead, and chunk outcomes.
+_WORKERS_ALIVE = REGISTRY.gauge(
+    "repro_remote_workers_alive",
+    "Live worker connections held by remote backends in this process")
+_WORKERS_LOST = REGISTRY.counter(
+    "repro_remote_workers_lost_total",
+    "Workers declared dead (connection drop, timeout, protocol garbage)")
+_CHUNKS_TOTAL = REGISTRY.counter(
+    "repro_remote_chunks_total",
+    "Chunk dispatches by outcome (reassigned chunks count once per "
+    "attempt; abandoned ones resolve to per-point failures)",
+    ("outcome",))
 
 __all__ = [
     "PROTOCOL_VERSION", "RemoteBackend", "RemoteError",
@@ -482,6 +497,7 @@ class _MapState:
             for index, outcome in zip(chunk.indices, outcomes):
                 self._results[index] = outcome
             self._unresolved -= 1
+            _CHUNKS_TOTAL.inc(outcome="ok")
             self._cond.notify_all()
 
     def _fail_chunk(self, chunk, message):
@@ -489,6 +505,7 @@ class _MapState:
         for index in chunk.indices:
             self._results[index] = outcome
         self._unresolved -= 1
+        _CHUNKS_TOTAL.inc(outcome="abandoned")
 
     def worker_lost(self, address, error, chunk=None):
         """Record one worker's death; requeue (or fail) its chunk."""
@@ -504,6 +521,7 @@ class _MapState:
                         % chunk.attempts)
                 else:
                     self._queue.append(chunk)
+                    _CHUNKS_TOTAL.inc(outcome="reassigned")
             if self._live <= 0:
                 while self._queue:
                     pending = self._queue.popleft()
@@ -588,8 +606,10 @@ class RemoteBackend(Backend):
                     rejection = outcome
                 elif isinstance(outcome, Exception):
                     self._dead[address] = str(outcome)
+                    _WORKERS_LOST.inc()
                 else:
                     self._connections[address] = outcome
+                    _WORKERS_ALIVE.inc()
             if rejection is not None:
                 raise rejection
         if not self._connections:
@@ -607,6 +627,8 @@ class RemoteBackend(Backend):
                 sock.close()
             except OSError:
                 pass
+            _WORKERS_ALIVE.dec()
+            _WORKERS_LOST.inc()
         self._dead[address] = reason
 
     # -- scheduling -----------------------------------------------------------
@@ -687,6 +709,7 @@ class RemoteBackend(Backend):
                 sock.close()
             except OSError:
                 pass
+            _WORKERS_ALIVE.dec()
 
 
 BACKENDS["remote"] = RemoteBackend

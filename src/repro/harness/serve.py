@@ -13,19 +13,26 @@ Endpoints (the full reference with request/response examples lives in
 
 * ``GET /healthz`` — liveness, versions, uptime, request count;
 * ``GET /cache/info`` — JSON :meth:`~repro.harness.cache.CacheInfo.to_dict`
-  plus result/figure hit counters and cumulative executor stats;
+  plus result/figure hit counters, cumulative executor stats, and the
+  miss scheduler's queue counters;
+* ``GET /metrics`` — the process-wide
+  :data:`~repro.harness.metrics.REGISTRY` in Prometheus text exposition
+  format (serve, queue, sweep, cache, and remote-fleet series);
 * ``GET /point?benchmark=..&dataset=..&label=..&threshold=..`` — one
   sweep point. Params are canonicalized through
   :func:`~repro.harness.variants.mask_params`, so any URL describing the
   same *effective* configuration lands on the same cache key; a warm hit
-  never touches the executor, a miss runs through the shared
-  :class:`~repro.harness.sweep.SweepExecutor` and populates the cache;
+  never touches the executor, a miss is scheduled on the
+  :class:`~repro.harness.queue.RequestScheduler` and populates the cache;
 * ``POST /sweep`` — a (pairs × variants) grid spec; per-point results
   with :class:`~repro.harness.sweep.PointFailure` entries surfaced as
   structured JSON under the documented ``on_error`` contract
   (``docs/sweep-engine.md``);
 * ``GET /figure/<name>`` — read-through
-  :class:`~repro.harness.cache.FigureArtifactCache`.
+  :class:`~repro.harness.cache.FigureArtifactCache`; structured JSON by
+  default, ``?format=text`` for the formatted table;
+* ``POST /shutdown`` — loopback-only graceful drain (the HTTP form of
+  SIGTERM).
 
 Results travel as :func:`~repro.harness.cache.encode_result` payloads —
 the same encoding the disk cache and the remote TCP protocol use, so the
@@ -34,10 +41,14 @@ three consumers share one contract.
 Concurrency model: the cache hit path is lock-free (content-addressed
 files, atomically replaced — concurrent readers can never observe a torn
 entry), so warm traffic scales with the server's thread pool. Miss-path
-work is serialized through one executor lock, because the sweep backends
-are not safe for concurrent ``map`` calls; a service expected to take
-cold traffic should be given ``--jobs``/``--workers`` so the serialized
-miss still uses a whole machine or fleet.
+work for ``/point`` and ``/sweep`` flows through a bounded FIFO
+:class:`~repro.harness.queue.RequestScheduler` (``--miss-workers``
+executors, each with its own backend, sharing one cache; per-point
+in-flight dedup; ``--max-pending`` backpressure mapped to 503). Figure
+*builds* stay serialized behind one dedicated executor (a figure is a
+whole tuning campaign, not a point), but warm figures answer lock-free.
+Shutdown drains: queued and in-flight misses finish before the process
+exits, so a killed service never tears a cache write.
 """
 
 import json
@@ -48,13 +59,16 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..benchmarks import get_benchmark
-from ..errors import ReproError, ServeError
+from ..errors import QueueError, ReproError, ServeError
 from ..sim.config import DeviceConfig
 from .cache import (CACHE_VERSION, FigureArtifactCache, ResultCache,
                     encode_result, point_key)
 from .figures import (figure9, figure10, figure11, figure12,
                       fixed_threshold_study, table1)
-from .sweep import PointFailure, SweepExecutor, SweepPoint, sweep_grid
+from .metrics import REGISTRY
+from .queue import RequestScheduler
+from .sweep import (PointFailure, SweepExecutor, SweepPoint, SweepStats,
+                    sweep_grid)
 from .variants import (ALL_GRANULARITIES, VARIANT_LABELS, TuningParams,
                        mask_params)
 
@@ -63,12 +77,16 @@ __all__ = ["ENDPOINTS", "QueryService", "ServeServer", "point_from_query"]
 #: Every route the server registers, in documentation order.
 #: ``docs/serving.md`` must document each entry verbatim (enforced by
 #: ``tests/test_docs.py``).
-ENDPOINTS = ("GET /healthz", "GET /cache/info", "GET /point",
-             "POST /sweep", "GET /figure/<name>")
+ENDPOINTS = ("GET /healthz", "GET /cache/info", "GET /metrics",
+             "GET /point", "POST /sweep", "GET /figure/<name>",
+             "POST /shutdown")
 
 #: Upper bound on one ``POST /sweep`` body; anything larger is a client
 #: error, not a grid.
 MAX_BODY = 16 * 1024 * 1024
+
+#: Prometheus text exposition content type served by ``GET /metrics``.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Variant labels whose ``+`` arrived as a space because the client did
 #: not URL-encode it (``+`` means space in a query string).
@@ -81,6 +99,21 @@ _POINT_KEYS = ("benchmark", "dataset", "label", "scale", "threshold",
 _SWEEP_KEYS = ("pairs", "variants", "scale", "params", "on_error")
 
 _PARAM_KEYS = ("threshold", "coarsen", "aggregate", "group_blocks")
+
+# -- serving metrics ----------------------------------------------------------
+
+_REQUESTS = REGISTRY.counter(
+    "repro_serve_requests_total",
+    "HTTP requests by route and status code", ("route", "code"))
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end request latency by route", ("route",))
+_POINT_CACHE = REGISTRY.counter(
+    "repro_serve_point_cache_total",
+    "GET /point requests by which path served them", ("state",))
+_FIGURE_CACHE = REGISTRY.counter(
+    "repro_serve_figure_cache_total",
+    "GET /figure requests by which path served them", ("state",))
 
 
 def _canonical_label(label):
@@ -272,11 +305,18 @@ FIGURES = {
 # -- the service --------------------------------------------------------------
 
 class QueryService:
-    """The serving-path brain: caches + one shared executor, HTTP-free.
+    """The serving-path brain: caches + scheduler + executors, HTTP-free.
 
     All request semantics live here (the HTTP handler only routes and
     serializes), so tests and embedders can drive the service without a
     socket. Every public method returns ``(payload, http_status)``.
+
+    ``miss_workers`` executors (each with its own backend instance,
+    sharing one cache) drain the bounded miss queue concurrently; one
+    extra dedicated executor (:attr:`executor`) serves figure builds, so
+    a figure campaign and point misses never contend for one backend.
+    ``max_pending`` bounds the queue — submissions past it are rejected
+    with :class:`~repro.errors.QueueFullError` (HTTP 503).
 
     With ``cache_dir=None`` the service still works but every request
     takes the miss path — useful only for smoke tests; production
@@ -285,20 +325,32 @@ class QueryService:
     """
 
     def __init__(self, cache_dir=".repro-cache", jobs=1, backend=None,
-                 workers=None, worker_timeout=None, quiet=True):
+                 workers=None, worker_timeout=None, quiet=True,
+                 miss_workers=2, max_pending=64):
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.artifacts = FigureArtifactCache(cache_dir) if cache_dir else None
-        self.executor = SweepExecutor(jobs=jobs, cache=self.cache,
-                                      backend=backend, workers=workers,
-                                      worker_timeout=worker_timeout,
-                                      on_error="continue")
+        miss_workers = max(1, int(miss_workers))
+
+        def make_executor():
+            return SweepExecutor(jobs=jobs, cache=self.cache,
+                                 backend=backend, workers=workers,
+                                 worker_timeout=worker_timeout,
+                                 on_error="continue")
+
+        #: The figure-path executor (also the one ``/healthz`` reports).
+        self.executor = make_executor()
+        #: One executor per scheduler worker; backends are not safe for
+        #: concurrent ``map`` calls, so concurrency means N executors.
+        self.miss_executors = [make_executor() for _ in range(miss_workers)]
+        self.scheduler = RequestScheduler(self.miss_executors,
+                                          max_pending=max_pending)
         self.quiet = quiet
         self.started = time.time()
         self.requests = 0
-        # Backends are not safe for concurrent map() calls; the hit path
-        # never takes this lock.
-        self._miss_lock = threading.Lock()
+        # Figure builds are whole campaigns driving self.executor; they
+        # stay serialized. The warm-figure path never takes this lock.
+        self._figure_lock = threading.Lock()
         self._count_lock = threading.Lock()
 
     # -- bookkeeping ----------------------------------------------------------
@@ -306,6 +358,19 @@ class QueryService:
     def count_request(self):
         with self._count_lock:
             self.requests += 1
+
+    def executor_stats(self):
+        """Cumulative :class:`~repro.harness.sweep.SweepStats` aggregated
+        across the figure executor and every miss worker (the
+        ``executor`` block of ``GET /cache/info``)."""
+        total = SweepStats()
+        for executor in [self.executor] + self.miss_executors:
+            stats = executor.stats
+            total.points += stats.points
+            total.hits += stats.hits
+            total.simulated += stats.simulated
+            total.failed += stats.failed
+        return total
 
     # -- endpoints ------------------------------------------------------------
 
@@ -316,6 +381,7 @@ class QueryService:
                  "cache_version": CACHE_VERSION,
                  "backend": self.executor.backend.name,
                  "cache_dir": self.cache_dir,
+                 "miss_workers": self.scheduler.workers,
                  "uptime_seconds": round(time.time() - self.started, 3),
                  "requests": self.requests,
                  "endpoints": list(ENDPOINTS)}, 200)
@@ -331,15 +397,26 @@ class QueryService:
             "figures": ({"hits": self.artifacts.hits,
                          "misses": self.artifacts.misses}
                         if self.artifacts else None),
-            "executor": self.executor.stats.to_dict(),
+            "executor": self.executor_stats().to_dict(),
+            "queue": self.scheduler.stats_dict(),
+            "metrics": {"series": REGISTRY.series_count(),
+                        "endpoint": "GET /metrics"},
             "backend": self.executor.backend.name,
         }
         return (payload, 200)
 
+    def metrics(self):
+        """``GET /metrics``: the Prometheus text exposition. Returned as
+        ``(text, status)``; the handler serves it unserialized with
+        :data:`METRICS_CONTENT_TYPE`."""
+        return (REGISTRY.render(), 200)
+
     def lookup_point(self, query):
-        """``GET /point``: warm answers straight from the cache, misses
-        through the shared executor (which populates the cache, so the
-        second identical request is a hit)."""
+        """``GET /point``: warm answers straight from the cache
+        (lock-free), misses through the request scheduler — which dedups
+        concurrent requests for one masked spec into a single
+        computation and populates the cache, so the second identical
+        request is a hit."""
         point = point_from_query(query)
         # Optimistic lock-free pre-check; the executor's own get() is the
         # authoritative (counted) miss, so this one stays uncounted.
@@ -348,8 +425,9 @@ class QueryService:
         cache_state = "hit"
         if result is None:
             cache_state = "miss"
-            with self._miss_lock:
-                result = self.executor.run_one(point, on_error="continue")
+            task = self.scheduler.submit(point)
+            result = self.scheduler.result(task)
+        _POINT_CACHE.inc(state=cache_state)
         if isinstance(result, PointFailure):
             return (_failure_payload(result), 500)
         return ({"point": point.spec(),
@@ -360,7 +438,9 @@ class QueryService:
     def run_sweep(self, body):
         """``POST /sweep``: a grid spec; per-point results in grid order,
         failures as structured entries (``on_error="continue"``), or one
-        500 naming the first failure (``on_error="raise"``)."""
+        500 naming the first failure (``on_error="raise"``). Warm points
+        resolve lock-free; the misses are scheduled as one FIFO batch
+        (deduplicated against in-flight work) and awaited together."""
         if not isinstance(body, dict):
             raise ServeError("POST /sweep body must be a JSON object")
         unknown = sorted(set(body) - set(_SWEEP_KEYS))
@@ -396,11 +476,28 @@ class QueryService:
             raise ServeError("'params' must be a JSON object")
         params = _params_from(params_body, "/sweep params")
         points = sweep_grid(pairs, variants, scale=scale, params=params)
-        with self._miss_lock:
-            before = self.executor.stats.to_dict()
-            results = self.executor.run(points, on_error="continue")
-            after = self.executor.stats.to_dict()
-        stats = {key: after[key] - before[key] for key in after}
+        results = [None] * len(points)
+        miss_indices = []
+        for index, point in enumerate(points):
+            cached = (self.cache.get(point, count_miss=False)
+                      if self.cache is not None else None)
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_indices.append(index)
+        stats = {"points": len(points),
+                 "hits": len(points) - len(miss_indices),
+                 "simulated": 0, "failed": 0}
+        if miss_indices:
+            tasks = self.scheduler.submit_all(
+                [points[index] for index in miss_indices])
+            for index, task in zip(miss_indices, tasks):
+                results[index] = self.scheduler.result(task)
+            for index in miss_indices:
+                if isinstance(results[index], PointFailure):
+                    stats["failed"] += 1
+                else:
+                    stats["simulated"] += 1
         failures = [r for r in results if isinstance(r, PointFailure)]
         if failures and on_error == "raise":
             return (_failure_payload(failures[0]), 500)
@@ -413,12 +510,18 @@ class QueryService:
 
     def figure(self, name, query):
         """``GET /figure/<name>``: read-through the figure artifact
-        cache; a miss rebuilds the figure through the shared executor
-        (grid points still resolve against the result cache first)."""
+        cache; a miss rebuilds the figure through the dedicated figure
+        executor (grid points still resolve against the result cache
+        first). Structured JSON by default; ``?format=text`` returns the
+        formatted table (the pre-PR-5 shape)."""
         if name not in FIGURES:
             return ({"error": "NotFound",
                      "message": "unknown figure %r" % (name,),
                      "figures": sorted(FIGURES)}, 404)
+        response_format = query.pop("format", "json")
+        if response_format not in ("json", "text"):
+            raise ServeError("format must be 'json' or 'text', not %r"
+                             % (response_format,))
         allowed, build = FIGURES[name]
         unknown = sorted(set(query) - set(allowed))
         if unknown:
@@ -429,30 +532,47 @@ class QueryService:
         # Optimistic lock-free pass: a probe view of the artifact cache
         # serves a warm hit immediately (never touching the executor) and
         # aborts the build on a miss, so warm figures stay interactive
-        # while a slow cold request holds the miss lock.
+        # while a slow cold build holds the figure lock.
+        cache_state = "hit"
+        result = None
         if self.artifacts is not None:
             try:
                 result = build(query, None, _ArtifactProbe(self.artifacts))
-                return ({"figure": name, "cache": "hit",
-                         "elapsed_seconds":
-                             round(time.perf_counter() - started, 6),
-                         "text": result.format()}, 200)
             except _ArtifactMiss:
-                pass
-        with self._miss_lock:
-            result = build(query, self.executor, self.artifacts)
-        return ({"figure": name,
-                 "cache": "miss",
-                 "elapsed_seconds": round(time.perf_counter() - started, 6),
-                 "text": result.format()}, 200)
+                result = None
+        if result is None:
+            cache_state = "miss"
+            with self._figure_lock:
+                result = build(query, self.executor, self.artifacts)
+        _FIGURE_CACHE.inc(state=cache_state)
+        payload = {"figure": name,
+                   "cache": cache_state,
+                   "elapsed_seconds":
+                       round(time.perf_counter() - started, 6)}
+        if response_format == "text":
+            payload["text"] = result.format()
+        else:
+            payload["data"] = result.to_dict()
+            payload["provenance"] = {
+                "version": __version__,
+                "cache_version": CACHE_VERSION,
+                "backend": self.executor.backend.name,
+                "query": dict(query),
+            }
+        return (payload, 200)
 
     def log(self, message):
         if not self.quiet:
             print("repro serve: %s" % message, flush=True)
 
-    def close(self):
-        """Release the executor's pool/connections (idempotent)."""
+    def close(self, drain=True, timeout=None):
+        """Drain the scheduler (or abandon the queue with
+        ``drain=False``), then release every executor's
+        pool/connections. Idempotent."""
+        self.scheduler.close(drain=drain, timeout=timeout)
         self.executor.close()
+        for executor in self.miss_executors:
+            executor.close()
 
 
 # -- the HTTP front-end -------------------------------------------------------
@@ -461,6 +581,12 @@ class _ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
     service = None
+
+    def request_shutdown(self):
+        """Stop ``serve_forever`` from a handler thread without
+        deadlocking (``shutdown()`` blocks until the serve loop exits, so
+        it must run off-thread)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
 
 
 class _ServeHandler(BaseHTTPRequestHandler):
@@ -474,16 +600,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         if service is not None and not service.quiet:
             service.log("%s %s" % (self.address_string(), format % args))
 
-    def _send(self, code, payload):
-        blob = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
-            .encode("utf-8")
+    def _send_bytes(self, code, blob, content_type):
         if code >= 400:
             # An errored request may have an unread body; never reuse
             # the connection in that state.
             self.close_connection = True
         try:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(blob)))
             if self.close_connection:
                 self.send_header("Connection", "close")
@@ -491,6 +615,11 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self.wfile.write(blob)
         except OSError:
             pass                                # client hung up mid-reply
+
+    def _send(self, code, payload):
+        blob = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
+            .encode("utf-8")
+        self._send_bytes(code, blob, "application/json")
 
     def _read_json_body(self):
         try:
@@ -508,31 +637,77 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServeError("body is not valid JSON: %s" % exc)
 
+    def _loopback_only(self):
+        host = self.client_address[0]
+        if host not in ("127.0.0.1", "::1", "::ffff:127.0.0.1"):
+            return ({"error": "Forbidden",
+                     "message": "POST /shutdown is loopback-only "
+                                "(got %s)" % host}, 403)
+        return None
+
+    def _shutdown(self):
+        """``POST /shutdown``: acknowledge, then stop the serve loop —
+        the owner's ``close()`` drains the miss queue before the
+        process exits (``docs/serving.md`` runbook). The actual
+        ``shutdown()`` fires *after* the response is written (see
+        ``_route``), so the acknowledging client always gets its 200
+        before the listener dies."""
+        service = self.server.service
+        forbidden = self._loopback_only()
+        if forbidden is not None:
+            return forbidden
+        service.log("shutdown requested by %s" % (self.client_address,))
+        return ({"status": "draining",
+                 "queue": service.scheduler.stats_dict()}, 200)
+
     def _route(self, method):
         service = self.server.service
         service.count_request()
+        route = None
+        shutdown_after_send = False
+        started = time.perf_counter()
         try:
             split = urlsplit(self.path)
             path = split.path.rstrip("/") or "/"
             query = {key: values[-1] for key, values in
                      parse_qs(split.query, keep_blank_values=True).items()}
             if path == "/healthz":
+                route = "/healthz"
                 payload, code = self._only("GET", method, service.health)
             elif path == "/cache/info":
+                route = "/cache/info"
                 payload, code = self._only("GET", method, service.cache_info)
+            elif path == "/metrics":
+                route = "/metrics"
+                payload, code = self._only("GET", method, service.metrics)
+                if code == 200:
+                    # Text exposition, not JSON: bypass _send.
+                    _REQUESTS.inc(route=route, code=str(code))
+                    _REQUEST_SECONDS.observe(
+                        time.perf_counter() - started, route=route)
+                    self._send_bytes(code, payload.encode("utf-8"),
+                                     METRICS_CONTENT_TYPE)
+                    return
             elif path == "/point":
+                route = "/point"
                 payload, code = self._only("GET", method,
                                            lambda: service.lookup_point(
                                                query))
             elif path == "/sweep":
+                route = "/sweep"
                 payload, code = self._only(
                     "POST", method,
                     lambda: service.run_sweep(self._read_json_body()))
             elif path.startswith("/figure/"):
+                route = "/figure"
                 name = path[len("/figure/"):]
                 payload, code = self._only("GET", method,
                                            lambda: service.figure(name,
                                                                   query))
+            elif path == "/shutdown":
+                route = "/shutdown"
+                payload, code = self._only("POST", method, self._shutdown)
+                shutdown_after_send = code == 200
             else:
                 payload, code = ({"error": "NotFound",
                                   "message": "no route for %r" % path,
@@ -540,13 +715,27 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except ServeError as exc:
             payload, code = ({"error": "ServeError",
                               "message": str(exc)}, 400)
+        except QueueError as exc:
+            # Well-formed but unservable right now: back off and retry.
+            payload, code = ({"error": type(exc).__name__,
+                              "message": str(exc),
+                              "retry": True}, 503)
         except ReproError as exc:
             payload, code = ({"error": type(exc).__name__,
                               "message": str(exc)}, 500)
         except Exception as exc:                 # keep the server alive
             payload, code = ({"error": type(exc).__name__,
                               "message": str(exc)}, 500)
+        _REQUESTS.inc(route=route or "<other>", code=str(code))
+        _REQUEST_SECONDS.observe(time.perf_counter() - started,
+                                 route=route or "<other>")
+        if shutdown_after_send:
+            # The acknowledgement must reach the client before the
+            # listener stops; never reuse this connection afterwards.
+            self.close_connection = True
         self._send(code, payload)
+        if shutdown_after_send:
+            self.server.request_shutdown()
 
     def _only(self, allowed, method, call):
         if method != allowed:
@@ -568,11 +757,15 @@ class ServeServer:
 
     Binds ``host:port`` (port 0 picks an ephemeral port — read it back
     from :attr:`address`). Service configuration (``cache_dir``,
-    ``jobs``, ``backend``, ``workers``, ``worker_timeout``) is forwarded
-    to :class:`QueryService` unless a ready-made *service* is given.
+    ``jobs``, ``backend``, ``workers``, ``worker_timeout``,
+    ``miss_workers``, ``max_pending``) is forwarded to
+    :class:`QueryService` unless a ready-made *service* is given.
     Mirrors :class:`~repro.harness.remote.WorkerServer`'s lifecycle:
     :meth:`serve_forever` for the CLI, :meth:`start` for tests and
-    embedding, :meth:`close` to release the socket and the executor.
+    embedding, :meth:`close` to drain the miss queue and release the
+    socket and executors. ``POST /shutdown`` (loopback-only) stops
+    :meth:`serve_forever` so the owner's ``close()`` runs the same
+    graceful drain SIGTERM does.
     """
 
     def __init__(self, host="127.0.0.1", port=0, service=None, quiet=True,
@@ -590,7 +783,7 @@ class ServeServer:
         return self._server.server_address[:2]
 
     def serve_forever(self):
-        """Serve until :meth:`close` or Ctrl-C."""
+        """Serve until :meth:`close`, ``POST /shutdown``, or Ctrl-C."""
         self._server.serve_forever(poll_interval=0.1)
 
     def start(self):
@@ -601,10 +794,11 @@ class ServeServer:
         self._thread.start()
         return self.address
 
-    def close(self):
-        """Stop serving and release the socket and the shared executor."""
+    def close(self, drain=True, timeout=None):
+        """Stop accepting connections, drain in-flight misses (unless
+        ``drain=False``), and release the socket and the executors."""
         if self._thread is not None and self._thread.is_alive():
             self._server.shutdown()
             self._thread.join(timeout=5.0)
         self._server.server_close()
-        self.service.close()
+        self.service.close(drain=drain, timeout=timeout)

@@ -41,6 +41,7 @@ import concurrent.futures
 import multiprocessing
 import os
 import threading
+import time
 import traceback
 from dataclasses import asdict, dataclass, field
 
@@ -48,6 +49,7 @@ from ..benchmarks import get_benchmark
 from ..errors import ReproError
 from ..sim.config import DeviceConfig
 from .cache import ResultCache
+from .metrics import REGISTRY
 from .runner import run_variant
 from .variants import TuningParams, mask_params
 
@@ -398,6 +400,21 @@ def make_backend(backend, jobs=1, chunk_size=None, workers=None,
 
 # -- the executor -------------------------------------------------------------
 
+#: Point outcomes across every executor in the process (cache hit /
+#: simulated / failed — mirrors :class:`SweepStats`), for ``GET /metrics``.
+_POINTS_TOTAL = REGISTRY.counter(
+    "repro_sweep_points_total",
+    "Sweep points resolved by an executor, by outcome", ("outcome",))
+_BATCHES_TOTAL = REGISTRY.counter(
+    "repro_sweep_batches_total",
+    "Miss batches dispatched to a sweep backend", ("backend",))
+_POINT_SECONDS = REGISTRY.histogram(
+    "repro_sweep_point_seconds",
+    "Per-point simulation latency by backend (batch wall time divided "
+    "by batch size; worker-side clocks never cross process boundaries)",
+    ("backend",))
+
+
 @dataclass
 class SweepStats:
     """Cumulative counters for one executor.
@@ -481,10 +498,21 @@ class SweepExecutor:
                 results[index] = cached
             else:
                 misses.append(index)
-        self.stats.hits += len(points) - len(misses)
+        hits = len(points) - len(misses)
+        self.stats.hits += hits
+        if hits:
+            _POINTS_TOTAL.inc(hits, outcome="hit")
         if misses:
             todo = [points[index] for index in misses]
+            started = time.perf_counter()
             outcomes = self.backend.map(todo)
+            elapsed = time.perf_counter() - started
+            _BATCHES_TOTAL.inc(backend=self.backend.name)
+            # One observation per point (so _count tracks points, not
+            # batches), each at the batch's per-point average.
+            for _ in todo:
+                _POINT_SECONDS.observe(elapsed / len(todo),
+                                       backend=self.backend.name)
             first_error = None
             # Store every success (and cache it) before raising, so a
             # single failed point does not throw away the rest of the
@@ -495,11 +523,13 @@ class SweepExecutor:
                     result = outcome[1]
                     results[index] = result
                     self.stats.simulated += 1
+                    _POINTS_TOTAL.inc(outcome="simulated")
                     if self.cache is not None:
                         self.cache.put(point, result)
                 else:
                     _, error, message, worker_tb = outcome
                     self.stats.failed += 1
+                    _POINTS_TOTAL.inc(outcome="failed")
                     failure = PointFailure(point, error, message, worker_tb)
                     if first_error is None:
                         first_error = failure

@@ -137,6 +137,45 @@ class TestServingDocs:
             assert "`%s`" % name in text, \
                 "serving.md does not mention figure %r" % name
 
+    def test_every_serve_flag_documented(self):
+        """No CLI/doc drift on the serve surface: every long option the
+        ``repro serve`` subparser registers appears in serving.md (and
+        in the parser's own --help, by construction)."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0]
+        serve = subparsers.choices["serve"]
+        flags = [option
+                 for action in serve._actions
+                 for option in action.option_strings
+                 if option.startswith("--") and option != "--help"]
+        assert "--miss-workers" in flags and "--max-pending" in flags
+        text = (DOCS / "serving.md").read_text()
+        for flag in flags:
+            assert flag in text, \
+                "serving.md does not document 'repro serve %s'" % flag
+
+    def test_scheduler_semantics_documented(self):
+        """The queue's operator-facing contract (backpressure, drain,
+        dedup, metrics) must live in the serving page's runbook."""
+        text = (DOCS / "serving.md").read_text()
+        for needle in ("503", "QueueFullError", "dedup",
+                       "drain", "Prometheus", "BENCH_serve.json"):
+            assert needle in text, \
+                "serving.md lost the %r semantics" % needle
+
+    def test_metric_families_documented(self):
+        """Every metric family the registry knows at import time is
+        named in serving.md's /metrics table."""
+        import repro.harness.serve      # noqa: F401 — registers series
+        from repro.harness.metrics import REGISTRY
+
+        text = (DOCS / "serving.md").read_text()
+        for name in REGISTRY.names():
+            assert name in text, \
+                "serving.md does not document metric family %r" % name
+
     def test_wire_format_contract_cross_linked(self):
         # The shared disk/TCP/HTTP encoding must cite one contract from
         # all three consumer docs.
@@ -153,6 +192,7 @@ class TestHarnessDoctests:
 
     @pytest.mark.parametrize("module_name", (
         "repro.harness.cache",
+        "repro.harness.metrics",
         "repro.harness.remote",
         "repro.harness.runner",
         "repro.harness.serve",

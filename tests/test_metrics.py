@@ -1,0 +1,167 @@
+"""The stdlib metrics registry (repro.harness.metrics).
+
+Counter/gauge/histogram semantics, label handling, registration
+invariants, and the Prometheus text exposition the serve layer scrapes
+through ``GET /metrics``.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.harness.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                                   REGISTRY)
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? '
+    r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$')
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total", "hits")
+        assert hits.value() == 0.0
+        hits.inc()
+        hits.inc(2.5)
+        assert hits.value() == 3.5
+
+    def test_labels_partition_samples(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", "x", ("kind",))
+        c.inc(kind="a")
+        c.inc(3, kind="b")
+        assert c.value(kind="a") == 1.0
+        assert c.value(kind="b") == 3.0
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "c").inc(-1)
+
+    def test_wrong_labels_raise(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "c", ("kind",))
+        with pytest.raises(ValueError):
+            c.inc()
+        with pytest.raises(ValueError):
+            c.inc(kind="a", extra="b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth", "queue depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6.0
+        g.dec(10)
+        assert g.value() == -4.0
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", "latency",
+                               buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(55.55)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="10"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_needs_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", "h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "c", ("kind",))
+        b = registry.counter("c_total", "different help", ("kind",))
+        assert a is b
+
+    def test_kind_and_label_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c", ("kind",))
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "c", ("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "c", ("other",))
+
+    def test_series_count_and_reset(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "c", ("kind",))
+        g = registry.gauge("g", "g")
+        assert registry.series_count() == 1     # unlabeled gauge
+        c.inc(kind="a")
+        c.inc(kind="b")
+        g.set(1)
+        assert registry.series_count() == 3
+        registry.reset()
+        assert c.value(kind="a") == 0.0
+        assert registry.names() == ["c_total", "g"]
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "c")
+
+        def spin():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert c.value() == 8000.0
+
+
+class TestExposition:
+    def test_render_is_valid_prometheus_text(self):
+        registry = MetricsRegistry()
+        c = registry.counter("req_total", "requests", ("route", "code"))
+        c.inc(route="/point", code="200")
+        c.inc(4, route='/weird"route\\', code="404")
+        g = registry.gauge("depth", "queue depth")
+        g.set(3)
+        h = registry.histogram("lat_seconds", "latency", buckets=(1.0,))
+        h.observe(0.5)
+        text = registry.render()
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        for name, kind in (("req_total", "counter"), ("depth", "gauge"),
+                           ("lat_seconds", "histogram")):
+            assert "# HELP %s" % name in text
+            assert "# TYPE %s %s" % (name, kind) in text
+        for line in lines:
+            if not line or line.startswith("#"):
+                continue
+            assert SAMPLE_RE.match(line), line
+        # Label values are escaped, not mangled.
+        assert 'route="/weird\\"route\\\\"' in text
+
+    def test_unlabeled_metrics_render_zero_before_first_touch(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c")
+        registry.gauge("g", "g")
+        text = registry.render()
+        assert "c_total 0" in text
+        assert "g 0" in text
+
+    def test_global_registry_exists(self):
+        assert "repro_queue_submitted_total" in REGISTRY.names()
+        assert "repro_sweep_points_total" in REGISTRY.names()

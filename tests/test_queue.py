@@ -1,0 +1,321 @@
+"""The miss-path request scheduler (repro.harness.queue).
+
+Exercises the scheduler against fake executors (the contract only needs
+``run_one``): per-point in-flight dedup joins, bounded-queue
+backpressure, strict FIFO fairness, batch submission atomicity,
+graceful drain vs. abandoning close, and worker crash containment.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueClosedError, QueueFullError
+from repro.harness.cache import point_key
+from repro.harness.queue import RequestScheduler
+from repro.harness.sweep import PointFailure, SweepPoint
+from repro.harness.variants import TuningParams
+
+
+def make_point(threshold):
+    """Distinct thresholds on CDP+T give distinct masked cache keys."""
+    return SweepPoint("BFS", "KRON", "CDP+T",
+                      TuningParams(threshold=threshold), scale=0.08)
+
+
+class FakeExecutor:
+    """Stands in for a SweepExecutor: the scheduler only calls
+    ``run_one(point, on_error="continue")``."""
+
+    def __init__(self, fn=None):
+        self.fn = fn or (lambda point: ("result", point.params.threshold))
+        self.ran = []
+
+    def run_one(self, point, on_error="continue"):
+        self.ran.append(point)
+        return self.fn(point)
+
+
+class GatedExecutor(FakeExecutor):
+    """Blocks every run until the test opens the gate."""
+
+    def __init__(self, fn=None):
+        super().__init__(fn)
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def run_one(self, point, on_error="continue"):
+        self.entered.set()
+        assert self.gate.wait(30), "test gate never opened"
+        return super().run_one(point, on_error=on_error)
+
+
+def close_quietly(scheduler):
+    scheduler.close(drain=False, timeout=5)
+
+
+class TestDedup:
+    def test_concurrent_submissions_share_one_task(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=8)
+        try:
+            point = make_point(16)
+            first = scheduler.submit(point)
+            assert executor.entered.wait(30)
+            # In flight now: an identical spec joins instead of queueing.
+            second = scheduler.submit(make_point(16))
+            assert second is first
+            assert scheduler.dedup_joins == 1
+            assert scheduler.submitted == 1
+            executor.gate.set()
+            assert scheduler.result(first, timeout=30) \
+                == scheduler.result(second, timeout=30)
+            assert len(executor.ran) == 1
+            assert scheduler.completed == 1
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_distinct_keys_do_not_join(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=8)
+        try:
+            a = scheduler.submit(make_point(8))
+            b = scheduler.submit(make_point(32))
+            assert a is not b
+            assert scheduler.result(a, timeout=30) == ("result", 8)
+            assert scheduler.result(b, timeout=30) == ("result", 32)
+            assert scheduler.dedup_joins == 0
+        finally:
+            close_quietly(scheduler)
+
+    def test_completed_task_does_not_dedup(self):
+        """Dedup is *in-flight* only: once a task finishes, the same key
+        schedules fresh work (the cache, not the queue, makes it cheap)."""
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=8)
+        try:
+            first = scheduler.submit(make_point(16))
+            scheduler.result(first, timeout=30)
+            second = scheduler.submit(make_point(16))
+            assert second is not first
+            assert scheduler.dedup_joins == 0
+        finally:
+            close_quietly(scheduler)
+
+    def test_submit_all_dedups_within_the_batch(self):
+        """mask_params can collapse a grid: duplicate keys inside one
+        batch must also share one task."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=8)
+        try:
+            tasks = scheduler.submit_all(
+                [make_point(16), make_point(16), make_point(32)])
+            assert tasks[0] is tasks[1]
+            assert tasks[0] is not tasks[2]
+            assert scheduler.submitted == 2
+            assert scheduler.dedup_joins == 1
+            executor.gate.set()
+            assert scheduler.result(tasks[1], timeout=30) == ("result", 16)
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=1)
+        try:
+            running = scheduler.submit(make_point(4))
+            assert executor.entered.wait(30)
+            queued = scheduler.submit(make_point(8))   # fills the queue
+            with pytest.raises(QueueFullError):
+                scheduler.submit(make_point(16))
+            assert scheduler.rejected == 1
+            # Joining an in-flight key is NOT bounded by the queue —
+            # joins add no work.
+            assert scheduler.submit(make_point(8)) is queued
+            executor.gate.set()
+            scheduler.result(running, timeout=30)
+            scheduler.result(queued, timeout=30)
+            # Once drained there is room again.
+            scheduler.result(scheduler.submit(make_point(16)), timeout=30)
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_submit_all_checks_whole_batch(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=2)
+        try:
+            first = scheduler.submit(make_point(4))
+            assert executor.entered.wait(30)
+            with pytest.raises(QueueFullError):
+                scheduler.submit_all(
+                    [make_point(8), make_point(16), make_point(32)])
+            executor.gate.set()
+            scheduler.result(first, timeout=30)
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_rejected_batch_leaves_counters_untouched(self):
+        """A 503'd batch must not leak joins/submissions into the
+        counters (or onto other requests' live tasks) — the dedup-proof
+        deltas CI asserts depend on it."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=2)
+        try:
+            running = scheduler.submit(make_point(4))
+            assert executor.entered.wait(30)
+            queued = scheduler.submit(make_point(8))
+            with pytest.raises(QueueFullError):
+                # One join of the queued task plus three fresh points:
+                # the fresh remainder overflows, the join must unwind.
+                scheduler.submit_all([make_point(8), make_point(16),
+                                      make_point(32), make_point(64)])
+            assert scheduler.dedup_joins == 0
+            assert queued.joins == 0
+            assert scheduler.submitted == 2
+            assert scheduler.rejected == 1
+            executor.gate.set()
+            scheduler.result(running, timeout=30)
+            scheduler.result(queued, timeout=30)
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+
+class TestFairness:
+    def test_strict_fifo_with_one_worker(self):
+        order = []
+        lock = threading.Lock()
+
+        def record(point):
+            with lock:
+                order.append(point.params.threshold)
+            return point.params.threshold
+
+        executor = GatedExecutor(record)
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            thresholds = [4, 8, 16, 32, 64]
+            tasks = [scheduler.submit(make_point(t)) for t in thresholds]
+            executor.gate.set()
+            for task in tasks:
+                scheduler.result(task, timeout=30)
+            assert order == thresholds
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_batch_cannot_be_interleaved(self):
+        """submit_all holds the lock for the whole batch, so another
+        request's point cannot land in the middle of it."""
+        order = []
+
+        def record(point):
+            order.append(point.params.threshold)
+            return point.params.threshold
+
+        executor = GatedExecutor(record)
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            batch = scheduler.submit_all([make_point(4), make_point(8)])
+            late = scheduler.submit(make_point(16))
+            executor.gate.set()
+            for task in [blocker] + batch + [late]:
+                scheduler.result(task, timeout=30)
+            assert order == [2, 4, 8, 16]
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+
+class TestDrain:
+    def test_drain_finishes_queued_work(self):
+        slow = FakeExecutor(lambda point: (time.sleep(0.05), "done")[-1])
+        scheduler = RequestScheduler([slow], max_pending=16)
+        tasks = [scheduler.submit(make_point(t)) for t in (4, 8, 16)]
+        assert scheduler.close(drain=True, timeout=30) is True
+        for task in tasks:
+            assert task.event.is_set()
+            assert task.result == "done"
+        assert scheduler.completed == 3
+        assert scheduler.failed == 0
+
+    def test_closed_scheduler_rejects_new_work(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=8)
+        scheduler.close(drain=True, timeout=30)
+        with pytest.raises(QueueClosedError):
+            scheduler.submit(make_point(4))
+        with pytest.raises(QueueClosedError):
+            scheduler.submit_all([make_point(8)])
+
+    def test_abandon_resolves_pending_as_failures(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        running = scheduler.submit(make_point(4))
+        assert executor.entered.wait(30)
+        pending = scheduler.submit(make_point(8))
+        executor.gate.set()
+        scheduler.close(drain=False, timeout=30)
+        # The queued-but-never-run task resolves to a structured failure
+        # so no waiter hangs; the in-flight one still completes.
+        result = scheduler.result(pending, timeout=5)
+        assert isinstance(result, PointFailure)
+        assert result.error == "QueueClosedError"
+        assert scheduler.result(running, timeout=5) == ("result", 4)
+
+    def test_close_is_idempotent(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=8)
+        assert scheduler.close(drain=True, timeout=30) is True
+        assert scheduler.close(drain=True, timeout=30) is True
+
+
+class TestWorkerCrash:
+    def test_executor_exception_becomes_point_failure(self):
+        def boom(point):
+            raise RuntimeError("executor exploded")
+
+        scheduler = RequestScheduler([FakeExecutor(boom)], max_pending=8)
+        try:
+            task = scheduler.submit(make_point(4))
+            result = scheduler.result(task, timeout=30)
+            assert isinstance(result, PointFailure)
+            assert result.error == "RuntimeError"
+            assert scheduler.failed == 1
+            # The worker thread survives and serves the next task.
+            second = scheduler.submit(make_point(8))
+            assert isinstance(scheduler.result(second, timeout=30),
+                              PointFailure)
+            assert scheduler.completed == 2
+        finally:
+            close_quietly(scheduler)
+
+
+class TestStats:
+    def test_stats_dict_shape(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=8)
+        try:
+            scheduler.result(scheduler.submit(make_point(4)), timeout=30)
+            stats = scheduler.stats_dict()
+            assert stats == {"workers": 1, "max_pending": 8, "depth": 0,
+                             "inflight": 0, "submitted": 1,
+                             "dedup_joins": 0, "rejected": 0,
+                             "completed": 1, "failed": 0,
+                             "draining": False}
+        finally:
+            close_quietly(scheduler)
+
+    def test_task_keys_are_point_keys(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=8)
+        try:
+            point = make_point(4)
+            task = scheduler.submit(point)
+            assert task.key == point_key(point)
+            scheduler.result(task, timeout=30)
+        finally:
+            close_quietly(scheduler)

@@ -3,13 +3,19 @@
 Covers the acceptance contract of the serving path: warm ``/point`` and
 ``/figure`` requests answer without a single executor submission, a cold
 ``/point`` populates the ResultCache so the second request is a hit,
-``POST /sweep`` surfaces PointFailures as structured JSON under the
-``on_error`` contract, and concurrent readers never observe torn cache
-entries or leak ``.tmp`` files.
+concurrent cold requests for one masked spec share exactly one
+simulation (scheduler dedup) while distinct specs overlap across the
+miss workers, a saturated queue answers 503, ``POST /shutdown`` drains,
+``GET /metrics`` scrapes as valid Prometheus text, ``POST /sweep``
+surfaces PointFailures as structured JSON under the ``on_error``
+contract, and concurrent readers never observe torn cache entries or
+leak ``.tmp`` files.
 """
 
 import json
+import re
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -20,7 +26,8 @@ import pytest
 import repro.harness.figures as figures_mod
 import repro.harness.sweep as sweep_mod
 from repro.errors import ReproError
-from repro.harness.serve import (ENDPOINTS, QueryService, ServeServer,
+from repro.harness.serve import (ENDPOINTS, METRICS_CONTENT_TYPE,
+                                 QueryService, ServeServer,
                                  point_from_query)
 
 SCALE = "0.08"
@@ -41,8 +48,27 @@ def fetch(server, path, data=None):
         return exc.code, json.loads(exc.read())
 
 
+def fetch_raw(server, path):
+    """(status, content-type, text body) without JSON decoding."""
+    url = "http://%s:%d%s" % (*server.address, path)
+    try:
+        with urllib.request.urlopen(url, timeout=60) as resp:
+            return (resp.status, resp.headers.get("Content-Type"),
+                    resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type"), \
+            exc.read().decode("utf-8")
+
+
 def banned(*args, **kwargs):
     raise AssertionError("executor submission on the warm hit path")
+
+
+def ban_executors(monkeypatch, service):
+    """Warm paths may touch no backend: ban the figure executor and
+    every miss worker's."""
+    for executor in [service.executor] + service.miss_executors:
+        monkeypatch.setattr(executor.backend, "map", banned)
 
 
 @pytest.fixture
@@ -97,7 +123,7 @@ class TestPoint:
         assert cold["point"]["label"] == "CDP+T"
         # The cold miss populated the cache: the second identical request
         # must be a hit that never reaches the executor or the simulator.
-        monkeypatch.setattr(server.service.executor.backend, "map", banned)
+        ban_executors(monkeypatch, server.service)
         monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
         status, warm = fetch(server, POINT)
         assert status == 200
@@ -120,7 +146,7 @@ class TestPoint:
         assert cold["cache"] == "miss"
         # CDP uses neither threshold nor coarsening: a URL carrying stray
         # values must land on the same (masked) cache key.
-        monkeypatch.setattr(server.service.executor.backend, "map", banned)
+        ban_executors(monkeypatch, server.service)
         status, warm = fetch(server, base + "&threshold=999&coarsen=4")
         assert status == 200
         assert warm["cache"] == "hit"
@@ -235,16 +261,38 @@ class TestFigure:
         status, cold = fetch(server, self.PATH)
         assert status == 200
         assert cold["cache"] == "miss"
-        assert "Figure 11" in cold["text"]
+        data = cold["data"]
+        assert data["kind"] == "threshold-sweep"
+        assert data["benchmark"] == "BFS" and data["dataset"] == "KRON"
+        assert data["series"] and data["thresholds"][0] == "none"
+        assert cold["provenance"]["version"]
+        assert cold["provenance"]["backend"] == "serial"
         # Warm fetch: neither the figure builder's direct runs nor the
         # executor may fire — the artifact cache answers alone.
         monkeypatch.setattr(figures_mod, "run_variant", banned)
-        monkeypatch.setattr(server.service.executor.backend, "map", banned)
+        ban_executors(monkeypatch, server.service)
         monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
         status, warm = fetch(server, self.PATH)
         assert status == 200
         assert warm["cache"] == "hit"
-        assert warm["text"] == cold["text"]
+        assert warm["data"] == cold["data"]
+
+    def test_format_text_is_backward_compatible(self, server, monkeypatch):
+        status, as_json = fetch(server, self.PATH)
+        assert status == 200 and "text" not in as_json
+        ban_executors(monkeypatch, server.service)
+        status, as_text = fetch(server, self.PATH + "&format=text")
+        assert status == 200
+        assert as_text["cache"] == "hit"
+        assert "Figure 11" in as_text["text"]
+        assert "data" not in as_text
+        # Every speedup the table prints appears in the structured rows.
+        for label, points in as_json["data"]["series"].items():
+            for value in points.values():
+                assert "%.2f" % value in as_text["text"]
+
+    def test_bad_format_400(self, server):
+        assert fetch(server, self.PATH + "&format=xml")[0] == 400
 
     def test_unknown_param_400(self, server):
         status, payload = fetch(server, "/figure/table1?strategy=guided")
@@ -255,12 +303,21 @@ class TestFigure:
     def test_bad_strategy_400(self, server):
         assert fetch(server, "/figure/fig12?strategy=nope")[0] == 400
 
-    def test_warm_requests_bypass_the_miss_lock(self, server):
+    def test_table1_structured_rows(self, server):
+        status, payload = fetch(server, "/figure/table1?scale=" + SCALE)
+        assert status == 200
+        rows = payload["data"]["rows"]
+        assert payload["data"]["kind"] == "table1"
+        assert any(row["benchmark"] == "BFS" for row in rows)
+        assert all(set(row) == {"benchmark", "dataset", "size"}
+                   for row in rows)
+
+    def test_warm_requests_bypass_the_figure_lock(self, server):
         """Warm /point and /figure hits must stay interactive while a
-        slow cold request holds the miss lock."""
+        slow cold figure build holds the figure lock."""
         fetch(server, POINT)
         fetch(server, self.PATH)
-        with server.service._miss_lock:     # a cold request in flight
+        with server.service._figure_lock:   # a cold build in flight
             status, point = fetch(server, POINT)
             assert status == 200 and point["cache"] == "hit"
             status, figure = fetch(server, self.PATH)
@@ -281,6 +338,15 @@ class TestCacheInfo:
         assert payload["figures"] == {"hits": 0, "misses": 0}
         assert payload["executor"]["simulated"] == 1
         assert payload["backend"] == "serial"
+        # The scheduler block: one miss scheduled, completed, no joins.
+        queue = payload["queue"]
+        assert queue["workers"] == 2 and queue["max_pending"] == 64
+        assert queue["submitted"] == 1 and queue["completed"] == 1
+        assert queue["dedup_joins"] == 0 and queue["rejected"] == 0
+        assert queue["depth"] == 0 and queue["inflight"] == 0
+        assert queue["draining"] is False
+        assert payload["metrics"]["series"] > 0
+        assert payload["metrics"]["endpoint"] == "GET /metrics"
 
     def test_cacheless_service(self, tmp_path):
         srv = ServeServer(cache_dir=None)
@@ -358,6 +424,235 @@ class TestConcurrentReaders:
         assert not list((cache_dir / "figures").glob("*.tmp"))
         # The four warm entries themselves must have survived the sweeps.
         assert len(list(cache_dir.glob("*.json"))) == 4
+
+
+class TestConcurrentMisses:
+    """The tentpole contract: concurrent cold requests for one masked
+    spec share exactly one simulation; distinct cold specs overlap
+    across the miss workers instead of serializing."""
+
+    DISTINCT = ["/point?benchmark=BFS&dataset=KRON&label=CDP%%2BT"
+                "&threshold=%d&scale=%s" % (threshold, SCALE)
+                for threshold in (8, 32)]
+
+    def test_same_spec_runs_exactly_once(self, server, monkeypatch):
+        real = sweep_mod._simulate_point
+        calls, call_lock = [], threading.Lock()
+        entered, gate = threading.Event(), threading.Event()
+
+        def slow(point):
+            with call_lock:
+                calls.append(point.describe())
+            entered.set()
+            assert gate.wait(30), "test gate never opened"
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", slow)
+        responses = []
+
+        def hit_it():
+            responses.append(fetch(server, POINT))
+
+        first = threading.Thread(target=hit_it)
+        first.start()
+        assert entered.wait(30), "first request never reached the simulator"
+        # The point is now in flight: a second identical request must
+        # join it, not enqueue a duplicate.
+        second = threading.Thread(target=hit_it)
+        second.start()
+        deadline = time.time() + 30
+        while server.service.scheduler.dedup_joins < 1:
+            assert time.time() < deadline, "second request never joined"
+            time.sleep(0.01)
+        gate.set()
+        first.join(timeout=30)
+        second.join(timeout=30)
+        assert len(calls) == 1, calls
+        assert [status for status, _ in responses] == [200, 200]
+        assert responses[0][1]["result"] == responses[1][1]["result"]
+        assert {payload["cache"] for _, payload in responses} == {"miss"}
+        assert server.service.scheduler.dedup_joins == 1
+        assert server.service.executor_stats().simulated == 1
+
+    def test_distinct_specs_overlap(self, server, monkeypatch):
+        real = sweep_mod._simulate_point
+        state = {"active": 0, "peak": 0}
+        lock = threading.Lock()
+
+        def slow(point):
+            with lock:
+                state["active"] += 1
+                state["peak"] = max(state["peak"], state["active"])
+            time.sleep(0.4)
+            with lock:
+                state["active"] -= 1
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", slow)
+        results = {}
+
+        def hit(path):
+            results[path] = fetch(server, path)
+
+        threads = [threading.Thread(target=hit, args=(path,))
+                   for path in self.DISTINCT]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        wall = time.perf_counter() - started
+        assert all(status == 200 for status, _ in results.values())
+        # Two 0.4s simulations on two miss workers must beat the 0.8s
+        # serialized sum — i.e. they actually ran concurrently.
+        assert state["peak"] >= 2, "misses never overlapped"
+        assert wall < 0.75, "wall %.2fs not better than serialized" % wall
+
+
+class TestBackpressure:
+    def test_full_queue_is_503(self, tmp_path, monkeypatch):
+        entered, gate = threading.Event(), threading.Event()
+        real = sweep_mod._simulate_point
+
+        def slow(point):
+            entered.set()
+            assert gate.wait(30), "test gate never opened"
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", slow)
+        srv = ServeServer(cache_dir=str(tmp_path / "cache"),
+                          miss_workers=1, max_pending=1)
+        srv.start()
+        try:
+            paths = ["/point?benchmark=BFS&dataset=KRON&label=CDP%%2BT"
+                     "&threshold=%d&scale=%s" % (threshold, SCALE)
+                     for threshold in (4, 8, 16)]
+            threads = [threading.Thread(target=fetch, args=(srv, path))
+                       for path in paths[:2]]
+            threads[0].start()
+            assert entered.wait(30)     # worker busy on the first point
+            threads[1].start()          # second point fills the queue
+            deadline = time.time() + 30
+            while srv.service.scheduler.stats_dict()["depth"] < 1:
+                assert time.time() < deadline, "queue never filled"
+                time.sleep(0.01)
+            status, payload = fetch(srv, paths[2])
+            assert status == 503
+            assert payload["error"] == "QueueFullError"
+            assert payload["retry"] is True
+            assert srv.service.scheduler.rejected == 1
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            # Rejected clients retry once the queue drains.
+            status, payload = fetch(srv, paths[2])
+            assert status == 200
+        finally:
+            gate.set()
+            srv.close()
+
+
+class TestMetricsEndpoint:
+    SAMPLE_RE = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? '
+        r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$')
+
+    def test_prometheus_exposition(self, server):
+        from repro.harness.serve import _POINT_CACHE
+
+        # The registry is process-global, so assert deltas, not totals.
+        hits0 = _POINT_CACHE.value(state="hit")
+        misses0 = _POINT_CACHE.value(state="miss")
+        fetch(server, POINT)            # miss
+        fetch(server, POINT)            # hit
+        status, content_type, text = fetch_raw(server, "/metrics")
+        assert status == 200
+        assert content_type == METRICS_CONTENT_TYPE
+        for series in ("repro_serve_requests_total",
+                       "repro_serve_request_seconds",
+                       "repro_serve_point_cache_total",
+                       "repro_queue_submitted_total",
+                       "repro_queue_depth",
+                       "repro_queue_wait_seconds",
+                       "repro_sweep_points_total",
+                       "repro_sweep_point_seconds",
+                       "repro_cache_lookups_total",
+                       "repro_remote_workers_alive"):
+            assert "# TYPE %s" % series in text, series
+        # Every sample line is valid Prometheus text exposition.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert self.SAMPLE_RE.match(line), line
+        assert _POINT_CACHE.value(state="hit") == hits0 + 1
+        assert _POINT_CACHE.value(state="miss") == misses0 + 1
+        assert 'repro_serve_point_cache_total{state="hit"}' in text
+        assert 'repro_serve_point_cache_total{state="miss"}' in text
+
+    def test_histogram_buckets_are_cumulative(self, server):
+        fetch(server, POINT)
+        _, _, text = fetch_raw(server, "/metrics")
+        buckets = [
+            float(self.SAMPLE_RE.match(line).group(2))
+            for line in text.splitlines()
+            if line.startswith('repro_queue_wait_seconds_bucket')]
+        assert buckets, "wait histogram missing"
+        assert buckets == sorted(buckets), "buckets not cumulative"
+
+    def test_wrong_method_405(self, server):
+        assert fetch(server, "/metrics", data={})[0] == 405
+
+
+class TestShutdown:
+    def test_post_shutdown_drains_and_stops(self, tmp_path):
+        srv = ServeServer(cache_dir=str(tmp_path / "cache"))
+        srv.start()
+        try:
+            fetch(srv, POINT)           # give the drain something real
+            status, payload = fetch(srv, "/shutdown", data={})
+            assert status == 200
+            assert payload["status"] == "draining"
+            assert "queue" in payload
+            srv._thread.join(timeout=10)
+            assert not srv._thread.is_alive(), "serve loop did not stop"
+        finally:
+            srv.close()
+        # close() drained: the scheduler refuses new work afterwards.
+        assert srv.service.scheduler.stats_dict()["draining"] is True
+
+    def test_get_shutdown_405(self, server):
+        assert fetch(server, "/shutdown")[0] == 405
+
+
+class TestGracefulDrain:
+    def test_close_waits_for_inflight_miss(self, tmp_path, monkeypatch):
+        """An in-flight miss finishes (and lands in the cache) before
+        close() returns — shutdown never tears a computation."""
+        real = sweep_mod._simulate_point
+        entered = threading.Event()
+
+        def slow(point):
+            entered.set()
+            time.sleep(0.5)
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", slow)
+        srv = ServeServer(cache_dir=str(tmp_path / "cache"))
+        srv.start()
+        response = {}
+
+        def hit():
+            response["got"] = fetch(srv, POINT)
+
+        thread = threading.Thread(target=hit)
+        thread.start()
+        assert entered.wait(30)
+        srv.close()                     # must drain, not abandon
+        thread.join(timeout=30)
+        status, payload = response["got"]
+        assert status == 200 and payload["cache"] == "miss"
+        assert srv.service.scheduler.completed == 1
+        assert srv.service.scheduler.failed == 0
 
 
 class TestPointFromQuery:
