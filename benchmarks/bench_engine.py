@@ -1,0 +1,232 @@
+"""Engine-path benchmark: the per-commit ``BENCH_engine.json`` artifact.
+
+Times one pinned sweep point end-to-end (compile → functional execution →
+timing simulation) cold (compiled-kernel cache cleared before every
+sample) and warm (second identical point), and records the codegen-cache
+hit/miss counters that *prove* the warm pass never re-lexed/re-parsed/
+re-transpiled anything. CI's ``bench-trend`` job uploads the artifact on
+every push and fails if the cold per-point latency regresses more than
+25% against the committed baseline (``benchmarks/BENCH_engine_baseline
+.json``), after normalizing by an interpreter calibration loop so the
+gate compares codegen cost, not runner hardware.
+
+Standalone on purpose (no pytest-benchmark): the artifact must exist
+even on runners without the benchmarking extras.
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+
+Exit status is non-zero when the counters contradict the caching
+contract (a warm point that compiled something), when the cold/warm
+speedup drops below the floor the repo promises (≥5×), or when the
+baseline gate trips — a lying benchmark is worse than none.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+#: The pinned point: TC's CDP+T+C+A is the compile-heaviest variant in the
+#: suite, at a scale small enough that codegen dominates the cold path.
+#: Changing any of this breaks trend comparability — bump ``schema`` if
+#: you must.
+BENCHMARK = "TC"
+DATASET = "KRON"
+LABEL = "CDP+T+C+A"
+THRESHOLD = 16
+COARSEN = 2
+GRANULARITY = "multiblock"
+GROUP_BLOCKS = 4
+SCALE = 0.03
+
+#: Cold/warm end-to-end ratio the repo promises (acceptance floor).
+MIN_SPEEDUP = 5.0
+
+#: Committed reference the CI gate compares against.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "BENCH_engine_baseline.json")
+
+#: Allowed normalized cold-latency regression before the gate trips.
+GATE_TOLERANCE = 0.25
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def check(condition, message, failures):
+    if not condition:
+        failures.append(message)
+        print("FAIL: %s" % message, file=sys.stderr)
+
+
+def calibrate(iterations=2_000_000):
+    """Seconds for a fixed pure-interpreter loop on this machine.
+
+    Both the compile pipeline and this loop are CPython-bound, so
+    ``cold_p50 / calibrate()`` is comparable across runner generations
+    while absolute wall-times are not.
+    """
+    started = time.perf_counter()
+    acc = 0
+    for i in range(iterations):
+        acc += i * i % 7
+    return time.perf_counter() - started
+
+
+def series_summary(samples):
+    return {"p50": round(statistics.median(samples), 6),
+            "min": round(min(samples), 6),
+            "max": round(max(samples), 6),
+            "samples": [round(s, 6) for s in samples]}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="artifact path (default BENCH_engine.json)")
+    parser.add_argument("--samples", type=int, default=7,
+                        help="cold/warm sample pairs (default 7)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline artifact for the regression gate "
+                             "(default: the committed one; pass an empty "
+                             "string to skip the gate)")
+    args = parser.parse_args(argv)
+
+    from repro import __version__
+    from repro.benchmarks import get_benchmark
+    from repro.engine.cache import KERNEL_CACHE
+    from repro.harness import TuningParams, run_variant
+    from repro.harness.cache import CACHE_VERSION
+    from repro.harness.metrics import REGISTRY
+    from repro.harness.variants import variant_to_run
+
+    failures = []
+    params = TuningParams(threshold=THRESHOLD, coarsen_factor=COARSEN,
+                          granularity=GRANULARITY, group_blocks=GROUP_BLOCKS)
+    bench = get_benchmark(BENCHMARK)
+    data = bench.build_dataset(DATASET, SCALE)
+
+    cold_seconds = []
+    warm_seconds = []
+    cold_misses = warm_misses = warm_hits = 0
+    reference = None
+    for _ in range(args.samples):
+        KERNEL_CACHE.clear()
+        before = KERNEL_CACHE.stats()
+        seconds, cold_result = timed(
+            lambda: run_variant(bench, data, LABEL, params))
+        after = KERNEL_CACHE.stats()
+        cold_seconds.append(seconds)
+        cold_misses += after["misses"] - before["misses"]
+
+        before = after
+        seconds, warm_result = timed(
+            lambda: run_variant(bench, data, LABEL, params))
+        after = KERNEL_CACHE.stats()
+        warm_seconds.append(seconds)
+        warm_misses += after["misses"] - before["misses"]
+        warm_hits += after["hits"] - before["hits"]
+
+        # The cache must be invisible to results.
+        if reference is None:
+            reference = cold_result.to_dict()
+        check(cold_result.to_dict() == reference
+              and warm_result.to_dict() == reference,
+              "cold/warm results disagree — the cache changed semantics",
+              failures)
+
+    check(cold_misses > 0, "cold passes never compiled (%d misses)"
+          % cold_misses, failures)
+    check(warm_misses == 0,
+          "warm passes recompiled %d times — the codegen cache leaked"
+          % warm_misses, failures)
+    check(warm_hits > 0, "warm passes never hit the codegen cache", failures)
+
+    cold_p50 = statistics.median(cold_seconds)
+    warm_p50 = statistics.median(warm_seconds)
+    # Ratio from per-side minima: the min is the least noise-contaminated
+    # estimate of each path's true cost, so the speedup gate does not trip
+    # on runner jitter that inflates one median but not the other.
+    speedup = min(cold_seconds) / max(min(warm_seconds), 1e-9)
+    check(speedup >= MIN_SPEEDUP,
+          "cold/warm speedup %.2fx is below the %.1fx floor"
+          % (speedup, MIN_SPEEDUP), failures)
+
+    # Direct compile amortization, without the execution floor: one cold
+    # module_for against a warm one.
+    variant, config = variant_to_run(LABEL, params)
+    KERNEL_CACHE.clear()
+    compile_cold, _ = timed(lambda: bench.module_for(variant, config))
+    compile_warm, _ = timed(lambda: bench.module_for(variant, config))
+
+    lookups = KERNEL_CACHE.stats()
+    hit_ratio = lookups["hits"] / max(lookups["hits"] + lookups["misses"], 1)
+    rendered = REGISTRY.render()
+    check("repro_codegen_cache_lookups_total" in rendered,
+          "codegen lookups are not exported to the metrics registry",
+          failures)
+
+    calibration = calibrate()
+    cold_normalized = min(cold_seconds) / max(calibration, 1e-9)
+
+    gate = {"baseline": None, "checked": False}
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        base_norm = baseline["cold_point_normalized"]
+        gate = {"baseline": args.baseline, "checked": True,
+                "baseline_normalized": base_norm,
+                "current_normalized": round(cold_normalized, 4),
+                "tolerance": GATE_TOLERANCE}
+        check(cold_normalized <= base_norm * (1.0 + GATE_TOLERANCE),
+              "cold per-point latency regressed: %.2f normalized vs "
+              "baseline %.2f (>%d%% over)"
+              % (cold_normalized, base_norm, GATE_TOLERANCE * 100),
+              failures)
+    elif args.baseline:
+        print("note: baseline %s not found; gate skipped" % args.baseline,
+              file=sys.stderr)
+
+    artifact = {
+        "schema": 1,
+        "versions": {"code": __version__, "cache": CACHE_VERSION},
+        "workload": {"benchmark": BENCHMARK, "dataset": DATASET,
+                     "label": LABEL, "threshold": THRESHOLD,
+                     "coarsen_factor": COARSEN,
+                     "granularity": GRANULARITY,
+                     "group_blocks": GROUP_BLOCKS, "scale": SCALE,
+                     "samples": args.samples},
+        "cold_point_seconds": series_summary(cold_seconds),
+        "warm_point_seconds": series_summary(warm_seconds),
+        "cold_over_warm": round(speedup, 2),
+        "compile_seconds": {"cold": round(compile_cold, 6),
+                            "warm": round(compile_warm, 6)},
+        "codegen_cache": {"hits": lookups["hits"],
+                          "misses": lookups["misses"],
+                          "hit_ratio": round(hit_ratio, 4),
+                          "cold_misses": cold_misses,
+                          "warm_misses": warm_misses,
+                          "warm_hits": warm_hits},
+        "calibration_seconds": round(calibration, 6),
+        "cold_point_normalized": round(cold_normalized, 4),
+        "gate": gate,
+        "failures": failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    print("cold point p50 %.4fs   warm point p50 %.4fs   speedup %.1fx"
+          % (cold_p50, warm_p50, speedup))
+    print("compile cold %.4fs → warm %.4fs   codegen hit ratio %.2f"
+          % (compile_cold, compile_warm, hit_ratio))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

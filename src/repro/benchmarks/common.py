@@ -7,9 +7,8 @@ keeps the same name and user-visible parameters in both sources, and the
 when the module was transformed.
 """
 
-from ..engine.module import Module
+from ..engine.cache import compiled_module
 from ..runtime.host import Device
-from ..transforms import transform
 
 INF = 1 << 30
 
@@ -41,13 +40,18 @@ class Benchmark:
 
     def module_for(self, variant="cdp", config=None, cost_model=None):
         """Compile a variant: 'nocdp', 'cdp', or a transformed CDP module
-        described by an :class:`~repro.transforms.OptConfig`."""
+        described by an :class:`~repro.transforms.OptConfig`.
+
+        Routes through the engine's compiled-kernel cache
+        (:mod:`repro.engine.cache`), so repeated compiles of one
+        (source, config, cost model) only pay module instantiation.
+        """
         if variant == "nocdp":
-            return Module(self.nocdp_source(), cost_model=cost_model)
+            return compiled_module(self.nocdp_source(),
+                                   cost_model=cost_model)
         if variant == "cdp" and config is None:
-            return Module(self.cdp_source(), cost_model=cost_model)
-        result = transform(self.cdp_source(), config)
-        return Module(result.program, result.meta, cost_model=cost_model)
+            return compiled_module(self.cdp_source(), cost_model=cost_model)
+        return compiled_module(self.cdp_source(), config, cost_model)
 
     def run(self, data, variant="cdp", config=None, device_config=None,
             cost_model=None):

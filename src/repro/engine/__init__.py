@@ -2,12 +2,17 @@
 functionally with cycle accounting."""
 
 from .builtins import c_div, c_mod
+from .cache import (CompiledKernelCache, KERNEL_CACHE, codegen_cache_key,
+                    compiled_module)
 from .codegen import generate_module_source
 from .executor import ExecContext, run_grid
-from .module import KernelHandle, Module
+from .module import KernelHandle, Module, ModuleArtifact, compile_artifact
 from .values import Dim3, Ptr, alloc_for_type
 
 __all__ = [
     "c_div", "c_mod", "generate_module_source", "ExecContext", "run_grid",
-    "KernelHandle", "Module", "Dim3", "Ptr", "alloc_for_type",
+    "CompiledKernelCache", "KERNEL_CACHE", "codegen_cache_key",
+    "compiled_module",
+    "KernelHandle", "Module", "ModuleArtifact", "compile_artifact",
+    "Dim3", "Ptr", "alloc_for_type",
 ]

@@ -57,7 +57,10 @@ _EVICTIONS = REGISTRY.counter(
 #: Bump when the cached representation or the simulator semantics change.
 #: 2: sweep_grid/figure11 canonicalize group_blocks via mask_params, so
 #: pre-existing keys for non-multiblock points may alias stale entries.
-CACHE_VERSION = 2
+#: 3: the engine's compiled-kernel cache (repro.engine.cache) keys on this
+#: same constant — bumping it must invalidate cached results AND compiled
+#: artifacts together, and the vectorized scheduler landed alongside it.
+CACHE_VERSION = 3
 
 #: Default age (seconds) past which a stranded ``.tmp`` file is considered
 #: stale — generous enough that a live writer is never swept.

@@ -27,8 +27,17 @@ class RunResult:
     outputs: Optional[dict] = None
 
     def speedup_over(self, other):
-        """Speedup of this run relative to *other* (>1 means faster)."""
-        return other.total_time / max(self.total_time, 1)
+        """Speedup of this run relative to *other* (>1 means faster).
+
+        Both runs must have measured positive time; a zero-cycle run is a
+        broken measurement on either side, and silently reporting 0× (or
+        ∞×) would poison geomeans downstream.
+        """
+        if self.total_time <= 0 or other.total_time <= 0:
+            raise ReproError(
+                "speedup undefined for non-positive total_time "
+                "(self=%r, other=%r)" % (self.total_time, other.total_time))
+        return other.total_time / self.total_time
 
     def to_dict(self):
         """JSON-able representation (drops raw outputs; see harness.cache)."""
@@ -146,13 +155,16 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def child_launch_sizes(bench, data):
+def child_launch_sizes(bench, data, device_config=None):
     """Thread counts of every dynamic launch the CDP version performs.
 
     Used to bound the threshold sweep ("not tuned beyond the largest dynamic
-    launch size", Sec. VII) and by the guided tuner.
+    launch size", Sec. VII) and by the guided tuner. *device_config* must be
+    forwarded by callers that run the rest of their sweep on a non-default
+    device, so the probe observes the same simulated GPU.
     """
-    outputs, timing, device = bench.run(data, "cdp")
+    outputs, timing, device = bench.run(data, "cdp",
+                                        device_config=device_config)
     sizes = []
     for grid in device.trace.grids:
         if grid.is_dynamic:

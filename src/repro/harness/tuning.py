@@ -36,7 +36,8 @@ class TuneOutcome:
     evaluated: list = field(default_factory=list)   # (params, total_time)
 
 
-def threshold_candidates(bench, data, cap_to_largest=True, coarse=False):
+def threshold_candidates(bench, data, cap_to_largest=True, coarse=False,
+                         device_config=None):
     """Power-of-two thresholds up to the largest dynamic launch size.
 
     Sec. VII: "the threshold is not tuned beyond the largest dynamic launch
@@ -45,7 +46,7 @@ def threshold_candidates(bench, data, cap_to_largest=True, coarse=False):
     the Fig. 12 methodology, where CDP+T degenerates to serializing
     everything.
     """
-    sizes = child_launch_sizes(bench, data)
+    sizes = child_launch_sizes(bench, data, device_config=device_config)
     largest = max(sizes) if sizes else 1
     candidates = [t for t in FULL_THRESHOLDS if t <= largest]
     if not candidates:
@@ -60,16 +61,19 @@ def threshold_candidates(bench, data, cap_to_largest=True, coarse=False):
     return candidates
 
 
-def _spaces(bench, data, label, strategy, klap_mode, uncapped=False):
+def _spaces(bench, data, label, strategy, klap_mode, uncapped=False,
+            device_config=None):
     if strategy == "exhaustive":
         thresholds = threshold_candidates(bench, data,
-                                          cap_to_largest=not uncapped)
+                                          cap_to_largest=not uncapped,
+                                          device_config=device_config)
         cfactors = DEFAULT_CFACTORS
         granularities = KLAP_GRANULARITIES if klap_mode else ALL_GRANULARITIES
         groups = DEFAULT_GROUP_BLOCKS
     else:
         thresholds = threshold_candidates(bench, data, coarse=True,
-                                          cap_to_largest=not uncapped)
+                                          cap_to_largest=not uncapped,
+                                          device_config=device_config)
         # Sec. VIII-C: insensitive to the factor provided it is large enough.
         cfactors = (8,)
         # Sec. VIII-C: warp granularity is never favorable.
@@ -127,7 +131,8 @@ def tune(bench, data, label, strategy="guided", device_config=None,
     """
     klap_mode = label == "KLAP (CDP+A)"
     thresholds, cfactors, granularities, groups = _spaces(
-        bench, data, label, strategy, klap_mode, uncapped)
+        bench, data, label, strategy, klap_mode, uncapped,
+        device_config=device_config)
     grid = _param_grid(thresholds, cfactors, granularities, groups)
     if executor is not None and scale is not None:
         from .sweep import SweepPoint

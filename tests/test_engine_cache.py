@@ -1,0 +1,185 @@
+"""Compiled-kernel cache tests (repro.engine.cache).
+
+Covers the memoization contract (same source+config+cost model → one
+compile), instantiation isolation (cached artifacts never share mutable
+state), key sensitivity (source, transform config, cost model, and the
+shared version token all discriminate), the CACHE_VERSION invalidation
+contract with the on-disk result cache, LRU bounding, and the metrics
+counter the serve endpoint exports.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import (CompiledKernelCache, KERNEL_CACHE,
+                          codegen_cache_key, compiled_module)
+from repro.harness import ResultCache, SweepExecutor, TuningParams, point_key
+from repro.harness import cache as result_cache_mod
+from repro.harness.metrics import REGISTRY
+from repro.harness.sweep import SweepPoint
+from repro.sim.config import DeviceConfig
+from repro.sim.costmodel import CostModel
+from repro.transforms import OptConfig
+from tests.conftest import BFS_LIKE_SRC
+
+SIMPLE_SRC = """
+__global__ void scale(int *data, int n) {
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid < n) {
+        data[tid] = data[tid] * 2;
+    }
+}
+"""
+
+
+class TestMemoization:
+    def test_hit_returns_same_artifact(self):
+        cache = CompiledKernelCache()
+        first = cache.get_or_compile(SIMPLE_SRC)
+        second = cache.get_or_compile(SIMPLE_SRC)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "capacity": cache.capacity}
+
+    def test_distinct_sources_do_not_collide(self):
+        cache = CompiledKernelCache()
+        a = cache.get_or_compile(SIMPLE_SRC)
+        b = cache.get_or_compile(BFS_LIKE_SRC)
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_transform_config_discriminates(self):
+        cache = CompiledKernelCache()
+        plain = cache.get_or_compile(BFS_LIKE_SRC)
+        thresholded = cache.get_or_compile(BFS_LIKE_SRC,
+                                           OptConfig(threshold=64))
+        aggregated = cache.get_or_compile(BFS_LIKE_SRC,
+                                          OptConfig(aggregate="block"))
+        assert plain is not thresholded
+        assert thresholded is not aggregated
+        assert cache.stats()["misses"] == 3
+        # ... and the transform actually ran: the artifact carries meta.
+        assert thresholded.meta is not None
+        assert plain.meta is None
+
+    def test_cost_model_discriminates(self):
+        cache = CompiledKernelCache()
+        default = cache.get_or_compile(SIMPLE_SRC)
+        heavy = cache.get_or_compile(SIMPLE_SRC,
+                                     cost_model=CostModel(mem=100))
+        assert default is not heavy
+        assert cache.stats()["misses"] == 2
+
+    def test_modules_from_one_artifact_share_no_state(self):
+        cache = CompiledKernelCache()
+        m1 = cache.module(SIMPLE_SRC)
+        m2 = cache.module(SIMPLE_SRC)
+        assert m1.artifact is m2.artifact
+        assert m1.namespace is not m2.namespace
+        m1.namespace["_parity_probe"] = object()
+        assert "_parity_probe" not in m2.namespace
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = CompiledKernelCache(capacity=2)
+        sources = [SIMPLE_SRC.replace("* 2", "* %d" % k) for k in (3, 5, 7)]
+        for src in sources:
+            cache.get_or_compile(src)
+        assert len(cache) == 2
+        # Oldest (k=3) was evicted: recompiling it is a miss.
+        misses = cache.stats()["misses"]
+        cache.get_or_compile(sources[0])
+        assert cache.stats()["misses"] == misses + 1
+        # Newest (k=7) survived.
+        hits = cache.stats()["hits"]
+        cache.get_or_compile(sources[2])
+        assert cache.stats()["hits"] == hits + 1
+
+    def test_thread_safety_single_entry(self):
+        cache = CompiledKernelCache()
+        artifacts = []
+
+        def worker():
+            artifacts.append(cache.get_or_compile(BFS_LIKE_SRC))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == 1
+        assert len({id(a) for a in artifacts}) == 1
+
+
+class TestVersionToken:
+    def test_key_embeds_config_and_versions(self, monkeypatch):
+        config = OptConfig(threshold=32)
+        key = codegen_cache_key(SIMPLE_SRC, config)
+        assert config in key
+        from repro import __version__
+        assert (__version__, result_cache_mod.CACHE_VERSION) in key
+        monkeypatch.setattr(result_cache_mod, "CACHE_VERSION",
+                            result_cache_mod.CACHE_VERSION + 1)
+        assert codegen_cache_key(SIMPLE_SRC, config) != key
+
+    def test_cache_version_bump_invalidates_both_caches(self, tmp_path,
+                                                        monkeypatch):
+        """One CACHE_VERSION bump must drop result-cache entries AND
+        compiled-kernel entries together (the invalidation contract)."""
+        point = SweepPoint("BFS", "KRON", "CDP+T", TuningParams(threshold=16),
+                           DeviceConfig(), 0.05)
+        disk = ResultCache(str(tmp_path / "cache"))
+        kernels = CompiledKernelCache()
+        monkeypatch.setattr("repro.engine.cache.KERNEL_CACHE", kernels)
+        old_key = point_key(point)
+
+        SweepExecutor(cache=disk).run([point])
+        assert disk.get(point) is not None
+        compiles_before = kernels.stats()["misses"]
+        assert compiles_before > 0
+
+        monkeypatch.setattr(result_cache_mod, "CACHE_VERSION",
+                            result_cache_mod.CACHE_VERSION + 1)
+        # Result cache: the point now maps to a different key — stale
+        # entries are unreachable.
+        assert point_key(point) != old_key
+        assert disk.get(point) is None
+        # Compiled-kernel cache: same sources must recompile (miss), not
+        # serve pre-bump artifacts.
+        SweepExecutor(cache=disk).run([point])
+        assert kernels.stats()["misses"] > compiles_before
+
+
+class TestProcessWideWiring:
+    def test_compiled_module_routes_through_global_cache(self):
+        before = KERNEL_CACHE.stats()
+        compiled_module(SIMPLE_SRC)
+        compiled_module(SIMPLE_SRC)
+        after = KERNEL_CACHE.stats()
+        assert after["misses"] >= before["misses"]
+        assert after["hits"] > before["hits"]
+
+    def test_lookup_counter_exported_to_registry(self):
+        compiled_module(SIMPLE_SRC)     # ensures at least one lookup
+        assert "repro_codegen_cache_lookups_total" in REGISTRY.names()
+        rendered = REGISTRY.render()
+        assert 'repro_codegen_cache_lookups_total{outcome="hit"}' in rendered \
+            or 'repro_codegen_cache_lookups_total{outcome="miss"}' in rendered
+
+    def test_run_variant_cold_then_warm(self, monkeypatch):
+        """The harness path (run_variant → bench.run → module_for) hits
+        the codegen cache on the second identical point."""
+        from repro.benchmarks import get_benchmark
+        from repro.harness import run_variant
+
+        kernels = CompiledKernelCache()
+        monkeypatch.setattr("repro.engine.cache.KERNEL_CACHE", kernels)
+        bench = get_benchmark("BFS")
+        data = bench.build_dataset("KRON", 0.05)
+        run_variant(bench, data, "CDP+T", TuningParams(threshold=16))
+        stats_cold = kernels.stats()
+        assert stats_cold["misses"] > 0
+        run_variant(bench, data, "CDP+T", TuningParams(threshold=16))
+        stats_warm = kernels.stats()
+        assert stats_warm["misses"] == stats_cold["misses"]
+        assert stats_warm["hits"] > stats_cold["hits"]

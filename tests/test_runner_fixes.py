@@ -1,0 +1,108 @@
+"""Regression tests for harness probe/measurement fixes.
+
+Two long-standing hazards: the launch-size probe (``child_launch_sizes``)
+silently ran on the *default* simulated device even when the surrounding
+sweep/tuner was configured for another one, and ``RunResult.speedup_over``
+silently reported 0× when the reference measured zero cycles instead of
+flagging the broken measurement.
+"""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.errors import ReproError
+from repro.harness import (RunResult, TuningParams, child_launch_sizes,
+                           predict_threshold, threshold_candidates)
+from repro.sim.config import DeviceConfig
+
+NON_DEFAULT = DeviceConfig(num_sms=2, launch_service_interval=19,
+                           host_launch_latency=777)
+
+
+class _ProbeSpy:
+    """Benchmark stand-in that records the device_config it was run with."""
+
+    name = "SPY"
+
+    def __init__(self, sizes=(64, 256)):
+        self.seen_configs = []
+        self._sizes = sizes
+
+    def run(self, data, variant="cdp", config=None, device_config=None,
+            cost_model=None):
+        self.seen_configs.append(device_config)
+
+        class _Grid:
+            is_dynamic = True
+
+            def __init__(self, total):
+                self.grid_dim = 1
+                self.block_dim = total
+
+        class _Device:
+            class trace:
+                grids = [_Grid(total) for total in self._sizes]
+
+        return {}, None, _Device()
+
+
+class TestChildLaunchSizesConfig:
+    def test_probe_forwards_device_config(self):
+        spy = _ProbeSpy()
+        child_launch_sizes(spy, data=None, device_config=NON_DEFAULT)
+        assert spy.seen_configs == [NON_DEFAULT]
+
+    def test_probe_default_remains_none(self):
+        spy = _ProbeSpy()
+        child_launch_sizes(spy, data=None)
+        assert spy.seen_configs == [None]
+
+    def test_threshold_candidates_forwards_device_config(self):
+        spy = _ProbeSpy(sizes=(2048,))
+        candidates = threshold_candidates(spy, data=None,
+                                          device_config=NON_DEFAULT)
+        assert spy.seen_configs == [NON_DEFAULT]
+        assert candidates[-1] <= 2048
+
+    def test_predict_threshold_forwards_device_config(self):
+        spy = _ProbeSpy(sizes=(8, 8, 8, 1024))
+        predict_threshold(spy, data=None, device_config=NON_DEFAULT)
+        assert spy.seen_configs == [NON_DEFAULT]
+
+    def test_real_benchmark_accepts_non_default_config(self):
+        bench = get_benchmark("BFS")
+        data = bench.build_dataset("KRON", 0.05)
+        sizes = child_launch_sizes(bench, data, device_config=NON_DEFAULT)
+        assert sizes
+        assert all(size > 0 for size in sizes)
+        # The trace is a functional artifact: the same launches happen on
+        # any simulated device, so the probe's *sizes* must agree too.
+        assert sizes == child_launch_sizes(bench, data)
+
+
+def _result(total_time):
+    return RunResult(benchmark="BFS", dataset="KRON", label="CDP",
+                     params=TuningParams(), total_time=total_time,
+                     breakdown={}, device_launches=0, host_agg_launches=0,
+                     launch_queue_wait=0)
+
+
+class TestSpeedupOver:
+    def test_normal_ratio(self):
+        assert _result(100).speedup_over(_result(300)) == 3.0
+        assert _result(300).speedup_over(_result(100)) == pytest.approx(1 / 3)
+
+    def test_zero_self_raises(self):
+        with pytest.raises(ReproError):
+            _result(0).speedup_over(_result(100))
+
+    def test_zero_reference_raises(self):
+        """The old behavior silently returned 0.0 here, poisoning geomeans."""
+        with pytest.raises(ReproError):
+            _result(100).speedup_over(_result(0))
+
+    def test_negative_raises_symmetrically(self):
+        with pytest.raises(ReproError):
+            _result(-5).speedup_over(_result(100))
+        with pytest.raises(ReproError):
+            _result(100).speedup_over(_result(-5))
