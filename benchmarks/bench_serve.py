@@ -1,11 +1,14 @@
 """Serving-path benchmark: the per-commit ``BENCH_serve.json`` artifact.
 
 Runs a small pinned workload against an in-process ``repro serve``
-instance — cold sweep, warm sweep, warm-point latency, and a concurrent
-same-spec dedup probe — and writes wall-times plus the hit/miss/dedup
-counters to a JSON artifact. CI's ``bench-trend`` job uploads it on
-every push, so the serving perf trajectory is recorded per commit
-(``docs/serving.md`` points operators at the same numbers).
+instance — cold sweep, warm sweep, warm-point latency, a concurrent
+same-spec dedup probe, a mixed-priority probe (a high-priority cold
+point must finish ahead of queued low-priority work), and a shed probe
+(an expired deadline must 504 without simulating) — and writes
+wall-times plus the hit/miss/dedup/shed counters to a JSON artifact.
+CI's ``bench-trend`` job uploads it on every push, so the serving perf
+trajectory is recorded per commit (``docs/serving.md`` points operators
+at the same numbers).
 
 Standalone on purpose (no pytest-benchmark): the artifact must exist
 even on runners without the benchmarking extras.
@@ -35,16 +38,35 @@ THRESHOLD = 16
 SCALE = 0.08
 DEDUP_QUERY = ("/point?benchmark=BFS&dataset=KRON&label=CDP%2BT"
                "&threshold=64&scale=" + str(SCALE))
+#: Fresh cold specs for the priority/shed probes (distinct thresholds
+#: keep them off every other segment's cache keys).
+PRIORITY_THRESHOLD = 48
+HIGH_QUERY = ("/point?benchmark=BFS&dataset=KRON&label=CDP%2BT"
+              "&threshold=96&scale=" + str(SCALE))
+SHED_QUERY = ("/point?benchmark=SSSP&dataset=KRON&label=CDP%2BT"
+              "&threshold=96&scale=" + str(SCALE))
 WARM_POINT_SAMPLES = 25
 
 
-def request(address, path, data=None, timeout=300):
+def request(address, path, data=None, timeout=300, headers=None):
     url = "http://%s:%d%s" % (*address, path)
     payload = json.dumps(data).encode() if data is not None else None
     with urllib.request.urlopen(
-            urllib.request.Request(url, data=payload),
+            urllib.request.Request(url, data=payload,
+                                   headers=headers or {}),
             timeout=timeout) as resp:
         return json.loads(resp.read())
+
+
+def request_status(address, path, headers=None, timeout=300):
+    """(status, payload), treating HTTP errors as data (the shed probe
+    *wants* the 504)."""
+    import urllib.error
+    try:
+        return 200, request(address, path, headers=headers,
+                            timeout=timeout)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
 
 
 def timed(fn):
@@ -87,7 +109,8 @@ def main(argv=None):
             warm_seconds, warm = timed(
                 lambda: request(address, "/sweep", data=body))
             check(warm["stats"] == {"points": grid, "hits": grid,
-                                    "simulated": 0, "failed": 0},
+                                    "simulated": 0, "failed": 0,
+                                    "shed": 0},
                   "warm sweep was not all-hits: %r" % (warm["stats"],),
                   failures)
 
@@ -129,15 +152,69 @@ def main(argv=None):
                   and results[0]["result"] == results[1]["result"],
                   "dedup probe responses disagree", failures)
 
+            # Mixed-priority probe: queue a low-priority cold sweep wide
+            # enough to keep the workers busy, then verify a
+            # high-priority cold point jumps the queued remainder and
+            # answers while the sweep is still running.
+            low_body = {"pairs": PAIRS,
+                        "variants": ["CDP", "CDP+T", "CDP+C",
+                                     "CDP+T+C", "CDP+T+C+A"],
+                        "params": {"threshold": PRIORITY_THRESHOLD,
+                                   "coarsen": 2, "aggregate": "block"},
+                        "scale": SCALE, "priority": "low"}
+            finished = {}
+
+            def low_sweep():
+                request(address, "/sweep", data=low_body)
+                finished["low"] = time.perf_counter()
+
+            low_thread = threading.Thread(target=low_sweep)
+            low_thread.start()
+            poll_deadline = time.time() + 60
+            while request(address,
+                          "/cache/info")["queue"]["depth"] < 1:
+                if time.time() > poll_deadline or "low" in finished:
+                    break               # sweep drained before we probed
+                time.sleep(0.002)
+            high_seconds, high = timed(lambda: request(
+                address, HIGH_QUERY,
+                headers={"X-Repro-Priority": "high"}))
+            finished["high"] = time.perf_counter()
+            low_thread.join()
+            check(high["cache"] == "miss",
+                  "priority probe point was unexpectedly warm", failures)
+            check(finished["high"] < finished["low"],
+                  "high-priority point (%.3fs) did not finish before the "
+                  "queued low-priority sweep" % high_seconds, failures)
+
+            # Shed probe: an already-expired deadline must 504 without
+            # touching the simulator.
+            shed_before = request(address, "/cache/info")["queue"]["shed"]
+            shed_status, shed_payload = request_status(
+                address, SHED_QUERY,
+                headers={"X-Repro-Deadline-Ms": "0"})
+            check(shed_status == 504
+                  and shed_payload.get("error") == "DeadlineExceededError"
+                  and shed_payload.get("retry") is True,
+                  "shed probe got %d %r" % (shed_status, shed_payload),
+                  failures)
+            info_final = request(address, "/cache/info")
+            shed_delta = info_final["queue"]["shed"] - shed_before
+            check(shed_delta == 1,
+                  "shed probe shed %d tasks, wanted 1" % shed_delta,
+                  failures)
+
             metrics_seconds, metrics_text = timed(
                 lambda: urllib.request.urlopen(
                     "http://%s:%d/metrics" % address,
                     timeout=60).read().decode())
             check("repro_queue_dedup_joins_total" in metrics_text,
                   "/metrics is missing queue series", failures)
+            check("repro_queue_shed_total" in metrics_text,
+                  "/metrics is missing the shed counter", failures)
 
             artifact = {
-                "schema": 1,
+                "schema": 2,
                 "versions": {"code": __version__,
                              "cache": CACHE_VERSION},
                 "workload": {"pairs": PAIRS, "variants": VARIANTS,
@@ -154,11 +231,17 @@ def main(argv=None):
                 "dedup_probe": {"wall_seconds": round(dedup_seconds, 6),
                                 "simulated": simulated_delta,
                                 "dedup_joins": joins_delta},
+                "priority_probe": {
+                    "high_point_seconds": round(high_seconds, 6),
+                    "high_finished_first":
+                        finished["high"] < finished["low"]},
+                "shed_probe": {"status": shed_status,
+                               "shed": shed_delta},
                 "metrics_scrape": {"seconds": round(metrics_seconds, 6),
                                    "bytes": len(metrics_text)},
-                "counters": {"executor": info_after["executor"],
-                             "queue": info_after["queue"],
-                             "results": info_after["results"]},
+                "counters": {"executor": info_final["executor"],
+                             "queue": info_final["queue"],
+                             "results": info_final["results"]},
                 "failures": failures,
             }
         finally:
@@ -174,6 +257,10 @@ def main(argv=None):
              artifact["warm_point_seconds"]["p50"]))
     print("dedup probe %.3fs   simulated=%d joins=%d"
           % (dedup_seconds, simulated_delta, joins_delta))
+    print("priority probe %.3fs (high first: %s)   shed probe status=%d "
+          "shed=%d" % (high_seconds,
+                       artifact["priority_probe"]["high_finished_first"],
+                       shed_status, shed_delta))
     return 1 if failures else 0
 
 

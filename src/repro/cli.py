@@ -383,7 +383,8 @@ def cmd_serve(args):
                              backend=args.backend, workers=args.workers,
                              worker_timeout=args.worker_timeout,
                              miss_workers=args.miss_workers,
-                             max_pending=args.max_pending)
+                             max_pending=args.max_pending,
+                             request_timeout=args.request_timeout)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -420,6 +421,26 @@ def cmd_serve(args):
     return 0
 
 
+def _format_index_top(rows):
+    if not rows:
+        return ["index is empty — run 'repro cache reindex' to rebuild "
+                "it from the blobs"]
+    lines = ["%-16s %-6s %6s %12s %10s  %s"
+             % ("key", "kind", "hits", "sim-cost(s)", "bytes", "spec")]
+    for row in rows:
+        cost = row.get("sim_cost_seconds")
+        spec = row.get("spec")
+        spec_text = "" if spec is None \
+            else json.dumps(spec, sort_keys=True)
+        if len(spec_text) > 60:
+            spec_text = spec_text[:57] + "..."
+        lines.append("%-16s %-6s %6d %12s %10d  %s"
+                     % (row["key"][:16], row["kind"], row["hits"],
+                        "-" if cost is None else "%.4f" % cost,
+                        row["bytes"], spec_text))
+    return lines
+
+
 def cmd_cache(args):
     from .harness.cache import TMP_MAX_AGE
 
@@ -432,10 +453,29 @@ def cmd_cache(args):
     elif args.action == "clear":
         removed = cache.clear()
         print("cleared %d files from %s" % (removed, args.cache_dir))
+    elif args.action == "reindex":
+        count = cache.reindex()
+        print("reindexed %d entries into %s" % (count, cache.index.path))
+    elif args.action == "top":
+        for line in _format_index_top(cache.index.top(by=args.by,
+                                                      limit=args.limit)):
+            print(line)
+    elif args.action == "stats":
+        stats = cache.index.stats_dict()
+        print("index %s" % stats["path"])
+        print("  entries: %d, bytes: %d, hits: %d, sim cost: %.4fs"
+              % (stats["entries"], stats["bytes"], stats["hits"],
+                 stats["sim_cost_seconds"]))
+        for kind in sorted(stats["by_kind"]):
+            block = stats["by_kind"][kind]
+            print("  %-7s: %d entries, %d bytes, %d hits, %.4fs sim cost"
+                  % (kind, block["entries"], block["bytes"],
+                     block["hits"], block["sim_cost_seconds"]))
     else:
         tmp_age = TMP_MAX_AGE if args.tmp_age is None else args.tmp_age
         report = cache.prune(max_entries=args.max_entries,
-                             max_bytes=args.max_bytes, tmp_max_age=tmp_age)
+                             max_bytes=args.max_bytes, tmp_max_age=tmp_age,
+                             policy=args.policy, dry_run=args.dry_run)
         print(report.format())
         print(cache.info().format())
     return 0
@@ -542,9 +582,10 @@ def build_parser():
                       "warm caches (GET /healthz, /cache/info, /metrics, "
                       "/point, /figure/<name>; POST /sweep, /shutdown — "
                       "see docs/serving.md); misses route through a "
-                      "bounded FIFO scheduler (--miss-workers/"
-                      "--max-pending) over the sweep engine "
-                      "(--jobs/--backend/--workers)")
+                      "bounded priority scheduler (--miss-workers/"
+                      "--max-pending, per-request priorities and "
+                      "deadlines via X-Repro-* headers) over the sweep "
+                      "engine (--jobs/--backend/--workers)")
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="interface to bind (default 127.0.0.1)")
     p_serve.add_argument("--port", type=int, default=0,
@@ -562,21 +603,28 @@ def build_parser():
                          help="bound on queued miss tasks (default 64); "
                               "past it cold requests get 503 backpressure "
                               "instead of piling onto the simulator")
+    p_serve.add_argument("--request-timeout", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="bound on how long one HTTP request waits "
+                              "for a cache miss (default 300; 0 disables); "
+                              "past it the request 504s with retry=true "
+                              "while the simulation continues toward the "
+                              "cache")
     _add_sweep_flags(p_serve, default_cache=".repro-cache")
     p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect and manage the on-disk sweep/figure cache "
                       "(result entries, figure artifacts, stranded .tmp "
-                      "files)")
-    p_cache.add_argument("action", choices=("info", "clear", "prune"))
+                      "files, and the index.sqlite metadata index)")
+    p_cache.add_argument("action", choices=("info", "clear", "prune",
+                                            "reindex", "top", "stats"))
     p_cache.add_argument("--cache-dir", default=".repro-cache",
                          help="cache directory (default .repro-cache)")
     p_cache.add_argument("--max-entries", type=int, default=None,
                          metavar="N",
                          help="prune: keep at most N entries (results + "
-                              "figure artifacts), evicting least-recently-"
-                              "used first")
+                              "figure artifacts)")
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          metavar="BYTES",
                          help="prune: keep at most BYTES bytes of entries "
@@ -585,6 +633,23 @@ def build_parser():
                          metavar="SECONDS",
                          help="prune: sweep stranded .tmp files older than "
                               "SECONDS (default 3600, i.e. one hour)")
+    p_cache.add_argument("--policy", choices=("lru", "cost"),
+                         default="lru",
+                         help="prune: eviction order — lru (default) "
+                              "evicts least-recently-used first; cost "
+                              "evicts cheapest-to-recompute first, "
+                              "ranked by the index's measured per-point "
+                              "simulation costs")
+    p_cache.add_argument("--dry-run", action="store_true",
+                         help="prune: report what would be evicted "
+                              "without removing anything")
+    p_cache.add_argument("--by", choices=("hits", "cost", "bytes",
+                                          "recent"),
+                         default="hits",
+                         help="top: ranking column (default hits)")
+    p_cache.add_argument("--limit", type=int, default=20, metavar="N",
+                         help="top: number of entries to show "
+                              "(default 20)")
     p_cache.set_defaults(func=cmd_cache)
     return parser
 

@@ -81,5 +81,17 @@ class QueueClosedError(QueueError):
     """The scheduler is draining/stopped and accepts no new work."""
 
 
+class DeadlineExceededError(ReproError):
+    """A task's deadline passed before (or while) it waited to run.
+
+    The miss scheduler sheds such tasks instead of simulating them and
+    resolves their waiters with a structured
+    ``PointFailure(error="DeadlineExceededError")``. ``repro serve``
+    maps that to a 504 response with ``"retry": true`` — deliberately
+    *not* a :class:`QueueError`/503, because the queue itself had room;
+    the caller's time budget is what ran out. See ``docs/serving.md``.
+    """
+
+
 class RuntimeLaunchError(ReproError):
     """Raised by the host runtime on invalid launches or allocations."""

@@ -13,9 +13,12 @@ from .runner import (RunResult, child_launch_sizes, geomean, outputs_match,
 from .sweep import (BACKENDS, Backend, PointFailure, SweepExecutor,
                     SweepPoint, SweepPointError, SweepStats, make_backend,
                     run_sweep, sweep_grid)
+from .index import CacheIndex
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       REGISTRY)
 from .queue import MissTask, RequestScheduler
+from .task import (PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL,
+                   Provenance, Task, parse_priority, priority_label)
 from .remote import (RemoteBackend, RemoteError, RemoteHandshakeError,
                      RemoteProtocolError, RemoteWorkerError, WorkerServer,
                      parse_workers, worker_ping, worker_stop)
@@ -37,7 +40,10 @@ __all__ = [
     "RemoteProtocolError", "RemoteWorkerError", "WorkerServer",
     "parse_workers", "worker_ping", "worker_stop",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "CacheIndex",
     "MissTask", "RequestScheduler",
+    "PRIORITY_HIGH", "PRIORITY_LOW", "PRIORITY_NORMAL", "Provenance",
+    "Task", "parse_priority", "priority_label",
     "ENDPOINTS", "QueryService", "ServeServer",
     "BreakdownFigure", "FixedThresholdResult", "SpeedupFigure", "SweepFigure",
     "Table1Result", "figure9", "figure10", "figure11", "figure12",

@@ -3,10 +3,11 @@
 Every figure/autotune invocation re-simulates the same dense
 (benchmark × dataset × variant × params) grids from scratch; this cache
 makes repeated runs cheap. Layout: one JSON file per point plus one pickle
-per finished figure,
+per finished figure, plus a SQLite metadata index beside the blobs,
 
     <cache_dir>/<key>.json              -- RunResult (ResultCache)
     <cache_dir>/figures/<key>.pkl       -- figure object (FigureArtifactCache)
+    <cache_dir>/index.sqlite            -- CacheIndex (harness.index)
 
 where ``key`` is the SHA-256 of the canonical point (or figure) spec plus
 the code version (``repro.__version__`` and :data:`CACHE_VERSION`). Any
@@ -14,13 +15,23 @@ change to a tuning parameter, the device model, or the code version
 therefore lands on a different key — stale entries are never returned,
 only orphaned.
 
+Each blob carries a ``meta`` block (hit count, measured simulation cost
+in seconds, creation time, cache version) that is refreshed in place on
+every hit. The blobs stay authoritative; the
+:class:`~repro.harness.index.CacheIndex` is a write-through *mirror* of
+that metadata, queryable by SQL (``repro cache top|stats``, cost-aware
+prune) and rebuildable from the blobs alone via :meth:`ResultCache.reindex`
+(``repro cache reindex``) — deleting ``index.sqlite`` loses nothing.
+
 Orphans are why the cache has a lifecycle: :meth:`ResultCache.info` counts
-entries and bytes, :meth:`ResultCache.prune` bounds both by evicting the
-least-recently-used entries (hits refresh mtime, so mtime order is LRU
-order), and :meth:`ResultCache.clear`/:meth:`ResultCache.prune` also sweep
-``.tmp`` files stranded by a run killed between ``mkstemp`` and
-``os.replace``. The ``repro cache`` CLI (``info``/``clear``/``prune``)
-fronts all three.
+entries and bytes, :meth:`ResultCache.prune` bounds both by evicting
+entries — least-recently-used (``--policy lru``, default; hits refresh
+mtime, so mtime order is LRU order) or cheapest-to-recompute first
+(``--policy cost``, ranked by the index's measured sim costs) — and
+:meth:`ResultCache.clear`/:meth:`ResultCache.prune` also sweep ``.tmp``
+files stranded by a run killed between ``mkstemp`` and ``os.replace``.
+The ``repro cache`` CLI (``info``/``clear``/``prune``/``reindex``/
+``top``/``stats``) fronts all of it.
 
 Result entries store :class:`~repro.harness.runner.RunResult` fields except
 the raw ``outputs`` arrays (results carrying outputs are simply not
@@ -37,6 +48,7 @@ import time
 from dataclasses import dataclass
 
 from .. import __version__
+from .index import CacheIndex
 from .metrics import REGISTRY
 from .runner import RunResult
 
@@ -60,11 +72,21 @@ _EVICTIONS = REGISTRY.counter(
 #: 3: the engine's compiled-kernel cache (repro.engine.cache) keys on this
 #: same constant — bumping it must invalidate cached results AND compiled
 #: artifacts together, and the vectorized scheduler landed alongside it.
-CACHE_VERSION = 3
+#: 4: blob payloads carry a "meta" block (hits, sim cost, created, cache
+#: version) and figure pickles are wrapped with their name/spec so the
+#: SQLite metadata index (harness.index) can be rebuilt from blobs alone.
+CACHE_VERSION = 4
 
 #: Default age (seconds) past which a stranded ``.tmp`` file is considered
 #: stale — generous enough that a live writer is never swept.
 TMP_MAX_AGE = 3600.0
+
+#: ``repro cache prune --policy`` vocabulary.
+PRUNE_POLICIES = ("lru", "cost")
+
+#: Marker key identifying a figure pickle's metadata wrapper (figure
+#: *artifacts* themselves may be plain dicts, so unwrapping keys on this).
+_FIGURE_WRAPPER_MARK = "__repro_figure__"
 
 
 def _hash_spec(spec):
@@ -79,8 +101,9 @@ def encode_result(result):
     This is the single serialized encoding shared by every consumer of a
     finished point; there is no second schema anywhere in the system:
 
-    * the on-disk cache stores it as ``<cache-dir>/<key>.json``
-      (:class:`ResultCache`, ``docs/sweep-engine.md``);
+    * the on-disk cache stores it as the ``result`` field of
+      ``<cache-dir>/<key>.json`` (:class:`ResultCache`,
+      ``docs/sweep-engine.md``);
     * the remote backend ships it inside ``chunk_result`` TCP frames
       (:mod:`repro.harness.remote`, ``docs/sweep-engine.md``);
     * the HTTP query service returns it verbatim as the ``result`` field
@@ -145,6 +168,15 @@ def figure_key(name, spec):
                        "figure": name, "spec": spec})
 
 
+def _fresh_meta(sim_cost=None, now=None):
+    """A blob's initial ``meta`` block — the durable metadata the index
+    mirrors (and reindex recovers)."""
+    return {"hits": 0,
+            "sim_cost_seconds": sim_cost,
+            "created": time.time() if now is None else now,
+            "cache_version": CACHE_VERSION}
+
+
 def _touch(path):
     """Refresh mtime on a cache hit so prune's mtime order is LRU order."""
     try:
@@ -159,6 +191,11 @@ def _remove_quietly(path):
         return True
     except OSError:
         return False
+
+
+def _blob_key(path):
+    """Cache key of a blob file (its basename minus the suffix)."""
+    return os.path.basename(path).rsplit(".", 1)[0]
 
 
 @dataclass
@@ -212,13 +249,21 @@ class CacheInfo:
 
 @dataclass
 class PruneReport:
-    """What one :meth:`ResultCache.prune` call removed."""
+    """What one :meth:`ResultCache.prune` call removed (or, under
+    ``dry_run``, *would* remove)."""
 
     removed_entries: int = 0
     removed_bytes: int = 0
     removed_tmp: int = 0
+    policy: str = "lru"
+    dry_run: bool = False
 
     def format(self):
+        if self.dry_run:
+            return ("would prune %d entries (%d bytes), would sweep %d "
+                    "stale .tmp files [policy=%s, dry run]"
+                    % (self.removed_entries, self.removed_bytes,
+                       self.removed_tmp, self.policy))
         return ("pruned %d entries (%d bytes), swept %d stale .tmp files"
                 % (self.removed_entries, self.removed_bytes,
                    self.removed_tmp))
@@ -228,15 +273,17 @@ class ResultCache:
     """On-disk result cache; safe to share across processes and runs.
 
     Also owns the lifecycle of the whole cache directory — including the
-    ``figures/`` artifact subdirectory — so ``info``/``clear``/``prune``
-    account for and bound everything under ``cache_dir``.
+    ``figures/`` artifact subdirectory and the metadata index — so
+    ``info``/``clear``/``prune``/``reindex`` account for and bound
+    everything under ``cache_dir``.
     """
 
-    def __init__(self, cache_dir):
+    def __init__(self, cache_dir, index=None):
         self.cache_dir = str(cache_dir)
         self.hits = 0
         self.misses = 0
         os.makedirs(self.cache_dir, exist_ok=True)
+        self.index = CacheIndex(self.cache_dir) if index is None else index
 
     def _path(self, key):
         return os.path.join(self.cache_dir, key + ".json")
@@ -249,11 +296,16 @@ class ResultCache:
         or None on miss or corruption (corrupted entries are dropped so
         the point re-simulates).
 
+        A hit bumps the blob's ``meta.hits`` in place (atomic rewrite;
+        falls back to a bare mtime touch if the rewrite loses a race with
+        prune) and mirrors the new count into the index.
+
         ``count_miss=False`` suits optimistic pre-checks whose miss path
         calls ``get`` again — the HTTP query service's lock-free hit path
         — so one logical miss is never double-counted in :attr:`misses`.
         """
-        path = self._path(point_key(point))
+        key = point_key(point)
+        path = self._path(key)
         try:
             with open(path) as handle:
                 payload = json.load(handle)
@@ -266,6 +318,7 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted/truncated entry: drop it so the point re-simulates.
             _remove_quietly(path)
+            self.index.remove([key])
             _EVICTIONS.inc(reason="corrupt")
             if count_miss:
                 self.misses += 1
@@ -273,36 +326,76 @@ class ResultCache:
             return None
         self.hits += 1
         _LOOKUPS.inc(cache="result", outcome="hit")
-        _touch(path)
+        meta = dict(payload.get("meta") or _fresh_meta())
+        meta["hits"] = int(meta.get("hits", 0) or 0) + 1
+        payload["meta"] = meta
+        nbytes = self._rewrite_json(path, payload)
+        self.index.record(key, "result", payload.get("spec"), nbytes,
+                          created=meta.get("created"),
+                          last_access=time.time(), hits=meta["hits"],
+                          sim_cost=meta.get("sim_cost_seconds"),
+                          cache_version=meta.get("cache_version"), op="hit")
         return result
 
-    def put(self, point, result):
+    def put(self, point, result, sim_cost=None):
         """Store *result* for *point*; returns True when stored.
 
         Atomic (``mkstemp`` + ``os.replace``); results carrying raw
         output arrays are ignored (returns False) — see the module
-        docstring.
+        docstring. *sim_cost* is the measured simulation wall time in
+        seconds (the sweep executor supplies it); it is persisted in the
+        blob's ``meta`` block and mirrored into the index so eviction can
+        weigh recompute cost.
         """
         if result.outputs is not None:
             return False
-        payload = {"spec": point.spec(), "result": encode_result(result)}
-        path = self._path(point_key(point))
+        key = point_key(point)
+        meta = _fresh_meta(sim_cost=sim_cost)
+        payload = {"spec": point.spec(), "result": encode_result(result),
+                   "meta": meta}
+        blob = json.dumps(payload)
+        path = self._path(key)
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                handle.write(blob)
             os.replace(tmp, path)
         finally:
-            if os.path.exists(tmp):
-                os.remove(tmp)
+            # Quiet, unconditional: a concurrent prune may sweep the .tmp
+            # between any exists() check and the remove().
+            _remove_quietly(tmp)
         _STORES.inc(cache="result")
+        self.index.record(key, "result", payload["spec"], len(blob),
+                          created=meta["created"],
+                          last_access=meta["created"], hits=0,
+                          sim_cost=sim_cost, cache_version=CACHE_VERSION)
         return True
+
+    def _rewrite_json(self, path, payload):
+        """Atomically rewrite *path* with *payload* (hit-count bump);
+        returns the new byte size. Losing a race with prune/clear is
+        fine — fall back to a plain mtime touch so LRU order still
+        advances."""
+        blob = json.dumps(payload)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            finally:
+                _remove_quietly(tmp)
+        except OSError:
+            _touch(path)
+        return len(blob)
 
     # -- lifecycle ------------------------------------------------------------
 
     def _scan(self):
         """(entries, tmp_files): (path, bytes, mtime) triples under the
-        cache root and the figures subdirectory."""
+        cache root and the figures subdirectory. ``index.sqlite`` (and
+        its WAL/shm siblings) match neither suffix, so the index never
+        counts toward entry/byte accounting and is never swept."""
         entries, tmp_files = [], []
         roots = [(self.cache_dir, ".json"), (self._figures_dir(), ".pkl")]
         for root, suffix in roots:
@@ -345,43 +438,126 @@ class ResultCache:
                    if name.endswith(".json"))
 
     def clear(self):
-        """Remove every entry, artifact, and stranded ``.tmp`` file."""
+        """Remove every entry, artifact, and stranded ``.tmp`` file
+        (and empty the metadata index to match)."""
         entries, tmp_files = self._scan()
         removed = 0
         for path, _, _ in entries + tmp_files:
             removed += _remove_quietly(path)
+        self.index.clear()
         _EVICTIONS.inc(removed, reason="clear")
         return removed
 
     def prune(self, max_entries=None, max_bytes=None,
-              tmp_max_age=TMP_MAX_AGE, now=None):
+              tmp_max_age=TMP_MAX_AGE, now=None, policy="lru",
+              dry_run=False):
         """Bound the cache: sweep stale ``.tmp`` files, then evict
-        least-recently-used entries (result + artifact, by mtime — hits
-        refresh it) until at most *max_entries* entries totalling at most
-        *max_bytes* bytes remain. Returns a :class:`PruneReport`.
+        entries (result + artifact) until at most *max_entries* entries
+        totalling at most *max_bytes* bytes remain. Returns a
+        :class:`PruneReport`.
+
+        *policy* picks the eviction order: ``"lru"`` (default) evicts
+        least-recently-used first (by mtime — hits refresh it);
+        ``"cost"`` evicts cheapest-to-recompute first (by the index's
+        measured ``sim_cost_seconds``; entries with unknown cost rank
+        cheapest, ties break oldest-first), keeping the entries that
+        were most expensive to simulate. *dry_run* computes the same
+        report without removing anything.
         """
+        if policy not in PRUNE_POLICIES:
+            raise ValueError("unknown prune policy %r (expected %s)"
+                             % (policy, "|".join(PRUNE_POLICIES)))
         entries, tmp_files = self._scan()
-        report = PruneReport()
+        report = PruneReport(policy=policy, dry_run=dry_run)
         now = time.time() if now is None else now
-        for path, _, mtime in tmp_files:
+        for path, size, mtime in tmp_files:
             if now - mtime >= tmp_max_age:
-                report.removed_tmp += _remove_quietly(path)
-        entries.sort(key=lambda record: record[2])      # oldest first
+                if dry_run:
+                    report.removed_tmp += 1
+                else:
+                    report.removed_tmp += _remove_quietly(path)
+        if policy == "cost":
+            costs = self.index.costs_by_key()
+            entries.sort(key=lambda record:
+                         (costs.get(_blob_key(record[0]), 0.0), record[2]))
+        else:
+            entries.sort(key=lambda record: record[2])  # oldest first
         total_bytes = sum(size for _, size, _ in entries)
         remaining = len(entries)
+        evicted_keys = []
         for path, size, _ in entries:
             over_count = max_entries is not None and remaining > max_entries
             over_bytes = max_bytes is not None and total_bytes > max_bytes
             if not (over_count or over_bytes):
                 break
-            if _remove_quietly(path):
+            if dry_run:
                 report.removed_entries += 1
                 report.removed_bytes += size
+            elif _remove_quietly(path):
+                report.removed_entries += 1
+                report.removed_bytes += size
+                evicted_keys.append(_blob_key(path))
             remaining -= 1
             total_bytes -= size
-        _EVICTIONS.inc(report.removed_entries + report.removed_tmp,
-                       reason="prune")
+        if not dry_run:
+            self.index.remove(evicted_keys)
+            _EVICTIONS.inc(report.removed_entries + report.removed_tmp,
+                           reason="prune")
         return report
+
+    def reindex(self):
+        """Rebuild ``index.sqlite`` from the blobs (``repro cache
+        reindex``); returns the number of entries indexed.
+
+        The blobs' ``meta`` blocks carry hit counts, sim costs, and
+        creation times, so a rebuilt index is equivalent to the
+        write-through one — deleting ``index.sqlite`` is always safe.
+        """
+        entries, _ = self._scan()
+        rows = []
+        for path, size, mtime in entries:
+            key = _blob_key(path)
+            if path.endswith(".json"):
+                row = self._reindex_result(path, key, size, mtime)
+            else:
+                row = self._reindex_figure(path, key, size, mtime)
+            if row is not None:
+                rows.append(row)
+        self.index.rebuild(rows)
+        return len(rows)
+
+    @staticmethod
+    def _reindex_result(path, key, size, mtime):
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        meta = payload.get("meta") or {}
+        return {"key": key, "kind": "result", "spec": payload.get("spec"),
+                "bytes": size, "created": meta.get("created", mtime),
+                "last_access": mtime, "hits": meta.get("hits", 0),
+                "sim_cost_seconds": meta.get("sim_cost_seconds"),
+                "cache_version": meta.get("cache_version")}
+
+    @staticmethod
+    def _reindex_figure(path, key, size, mtime):
+        try:
+            with open(path, "rb") as handle:
+                wrapper = pickle.load(handle)
+        except Exception:               # pickle can raise nearly anything
+            return None
+        if isinstance(wrapper, dict) and wrapper.get(_FIGURE_WRAPPER_MARK):
+            meta = wrapper.get("meta") or {}
+            spec = {"figure": wrapper.get("name"),
+                    "spec": wrapper.get("spec")}
+        else:                           # pre-v4 bare artifact
+            meta, spec = {}, None
+        return {"key": key, "kind": "figure", "spec": spec,
+                "bytes": size, "created": meta.get("created", mtime),
+                "last_access": mtime, "hits": meta.get("hits", 0),
+                "sim_cost_seconds": meta.get("sim_cost_seconds"),
+                "cache_version": meta.get("cache_version")}
 
 
 class FigureArtifactCache:
@@ -392,15 +568,19 @@ class FigureArtifactCache:
     verification points outside the executor; caching the finished figure
     object makes a fully-warm ``repro figure`` run near-instant. Shares
     ``cache_dir`` with :class:`ResultCache` (entries live in
-    ``<cache_dir>/figures/``), so one ``repro cache`` lifecycle governs
-    both.
+    ``<cache_dir>/figures/``, metadata rows in the same ``index.sqlite``),
+    so one ``repro cache`` lifecycle governs both. On disk each artifact
+    is pickled inside a small wrapper dict (name, spec, ``meta``) so
+    ``reindex`` can recover its metadata; :meth:`get` unwraps it.
     """
 
-    def __init__(self, cache_dir):
-        self.cache_dir = os.path.join(str(cache_dir), "figures")
+    def __init__(self, cache_dir, index=None):
+        root = str(cache_dir)
+        self.cache_dir = os.path.join(root, "figures")
         self.hits = 0
         self.misses = 0
         os.makedirs(self.cache_dir, exist_ok=True)
+        self.index = CacheIndex(root) if index is None else index
 
     def _path(self, name, spec):
         return os.path.join(self.cache_dir, figure_key(name, spec) + ".pkl")
@@ -411,10 +591,11 @@ class FigureArtifactCache:
         ``count_miss=False`` marks an optimistic pre-check whose miss
         path retries ``get`` (see :meth:`ResultCache.get`).
         """
+        key = figure_key(name, spec)
         path = self._path(name, spec)
         try:
             with open(path, "rb") as handle:
-                artifact = pickle.load(handle)
+                stored = pickle.load(handle)
         except FileNotFoundError:
             if count_miss:
                 self.misses += 1
@@ -424,6 +605,7 @@ class FigureArtifactCache:
             # Corrupted/truncated artifact (pickle can raise nearly
             # anything): drop it and regenerate.
             _remove_quietly(path)
+            self.index.remove([key])
             _EVICTIONS.inc(reason="corrupt")
             if count_miss:
                 self.misses += 1
@@ -431,19 +613,61 @@ class FigureArtifactCache:
             return None
         self.hits += 1
         _LOOKUPS.inc(cache="figure", outcome="hit")
-        _touch(path)
+        if isinstance(stored, dict) and stored.get(_FIGURE_WRAPPER_MARK):
+            wrapper, artifact = stored, stored["artifact"]
+        else:                           # pre-v4 bare artifact
+            wrapper, artifact = None, stored
+        if wrapper is not None:
+            meta = dict(wrapper.get("meta") or _fresh_meta())
+            meta["hits"] = int(meta.get("hits", 0) or 0) + 1
+            wrapper["meta"] = meta
+            nbytes = self._rewrite_pickle(path, wrapper)
+            self.index.record(key, "figure",
+                              {"figure": name, "spec": spec}, nbytes,
+                              created=meta.get("created"),
+                              last_access=time.time(), hits=meta["hits"],
+                              sim_cost=meta.get("sim_cost_seconds"),
+                              cache_version=meta.get("cache_version"),
+                              op="hit")
+        else:
+            _touch(path)
         return artifact
 
     def put(self, name, spec, artifact):
-        """Atomically store one figure object."""
+        """Atomically store one figure object (wrapped with its metadata)."""
+        key = figure_key(name, spec)
         path = self._path(name, spec)
+        meta = _fresh_meta()
+        wrapper = {_FIGURE_WRAPPER_MARK: 1, "name": name, "spec": spec,
+                   "meta": meta, "artifact": artifact}
+        blob = pickle.dumps(wrapper)
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(artifact, handle)
+                handle.write(blob)
             os.replace(tmp, path)
         finally:
-            if os.path.exists(tmp):
-                os.remove(tmp)
+            # Quiet, unconditional: a concurrent prune may sweep the .tmp
+            # between any exists() check and the remove().
+            _remove_quietly(tmp)
         _STORES.inc(cache="figure")
+        self.index.record(key, "figure", {"figure": name, "spec": spec},
+                          len(blob), created=meta["created"],
+                          last_access=meta["created"], hits=0,
+                          cache_version=CACHE_VERSION)
         return True
+
+    def _rewrite_pickle(self, path, wrapper):
+        """Atomic hit-count rewrite; see :meth:`ResultCache._rewrite_json`."""
+        blob = pickle.dumps(wrapper)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            finally:
+                _remove_quietly(tmp)
+        except OSError:
+            _touch(path)
+        return len(blob)

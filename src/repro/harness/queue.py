@@ -3,25 +3,37 @@
 PR 4's ``repro serve`` serialized every cache miss behind one executor
 lock, so a single cold ``/sweep`` stalled every other cold request. This
 module replaces that lock with a :class:`RequestScheduler`: a bounded
-FIFO work queue drained by a configurable number of worker threads
-(``--miss-workers``), each owning its own
+**deadline-aware priority queue** drained by a configurable number of
+worker threads (``--miss-workers``), each owning its own
 :class:`~repro.harness.sweep.SweepExecutor` (the sweep backends are not
 safe for concurrent ``map`` calls, so concurrency comes from *multiple*
 executors sharing one :class:`~repro.harness.cache.ResultCache`, which
 is multi-process safe by construction).
 
-Semantics:
+The unit of scheduling is the :class:`~repro.harness.task.Task` record
+(point + key + priority class + absolute deadline + provenance). The
+queue is a heap ordered by ``(priority, seq)``:
 
+* **Priority classes, FIFO within a class.** Lower priority ints run
+  first; ``seq`` (monotonic submission order) breaks ties, so within a
+  class ordering is strictly first-come-first-served — no task can
+  starve another of equal priority. Under default settings (everything
+  ``PRIORITY_NORMAL``, no deadlines) the heap degenerates to exactly
+  the old FIFO.
+* **Deadline shedding.** A task whose absolute deadline has passed is
+  *shed* — resolved as a structured ``DeadlineExceededError``
+  :class:`~repro.harness.sweep.PointFailure` without ever touching the
+  simulator: at submit time (``expired-on-submit``) or when a worker
+  pops it (``expired-in-queue``). Sheds are counted on
+  ``repro_queue_shed_total{reason}`` and the instance's ``shed``
+  counter, separate from executor failures.
 * **Per-point in-flight deduplication.** Tasks are keyed by
   :func:`~repro.harness.cache.point_key` (the masked, content-addressed
   spec): while a point is queued or running, further submissions for the
-  same key *join* the existing task instead of enqueueing a duplicate —
-  two concurrent cold requests for one spec cost exactly one
-  simulation.
-* **Fair FIFO ordering.** Tasks start in strict submission order;
-  a request's points enqueue atomically at submit time, so no request
-  can jump an earlier one (and a warm hit never enters the queue at
-  all — the lock-free hit path is untouched).
+  same key *join* the existing task instead of enqueueing a duplicate.
+  A join adopts the **tightest deadline** and **highest priority** of
+  its joiners (a queued task is re-heaped keeping its original ``seq``,
+  so it still queues FIFO among its new classmates).
 * **Bounded queue / backpressure.** At most *max_pending* tasks may be
   queued; past that :meth:`submit` raises
   :class:`~repro.errors.QueueFullError`, which the HTTP layer maps to
@@ -34,20 +46,25 @@ Semantics:
   :class:`~repro.harness.sweep.PointFailure` entries so no waiter hangs.
 
 Every transition is mirrored into :mod:`repro.harness.metrics`
-(``repro_queue_*`` series) and counted on the instance
-(:meth:`stats_dict`, surfaced by ``GET /cache/info``).
+(``repro_queue_*`` series; depth is labeled per priority class) and
+counted on the instance (:meth:`stats_dict`, surfaced by
+``GET /cache/info``).
 """
 
+import heapq
 import threading
 import time
-from collections import deque
 
 from ..errors import QueueClosedError, QueueFullError
 from .cache import point_key
 from .metrics import REGISTRY
 from .sweep import PointFailure
+from .task import PRIORITY_NORMAL, Task, priority_label
 
 __all__ = ["MissTask", "RequestScheduler"]
+
+#: Backwards-compatible alias — PR 5's MissTask grew into the Task record.
+MissTask = Task
 
 _SUBMITTED = REGISTRY.counter(
     "repro_queue_submitted_total",
@@ -62,8 +79,14 @@ _REJECTED = REGISTRY.counter(
 _COMPLETED = REGISTRY.counter(
     "repro_queue_completed_total",
     "Miss tasks finished by a scheduler worker", ("outcome",))
+_SHED = REGISTRY.counter(
+    "repro_queue_shed_total",
+    "Tasks shed (resolved as DeadlineExceededError PointFailures "
+    "without simulating) because their deadline passed", ("reason",))
 _DEPTH = REGISTRY.gauge(
-    "repro_queue_depth", "Tasks waiting in the scheduler queue")
+    "repro_queue_depth",
+    "Tasks waiting in the scheduler queue, per priority class",
+    ("priority",))
 _INFLIGHT = REGISTRY.gauge(
     "repro_queue_inflight", "Tasks currently running on a worker")
 _WAIT = REGISTRY.histogram(
@@ -71,27 +94,8 @@ _WAIT = REGISTRY.histogram(
     "Seconds a task waited between submission and execution start")
 
 
-class MissTask:
-    """One scheduled miss: a point, its key, and a completion event.
-
-    Multiple requests may hold the same task (dedup joins); each calls
-    :meth:`RequestScheduler.result` to block for the shared outcome.
-    """
-
-    __slots__ = ("key", "point", "event", "result", "joins",
-                 "submitted_at")
-
-    def __init__(self, key, point):
-        self.key = key
-        self.point = point
-        self.event = threading.Event()
-        self.result = None
-        self.joins = 0
-        self.submitted_at = time.perf_counter()
-
-
 class RequestScheduler:
-    """Bounded FIFO miss queue with dedup, worker threads, and drain.
+    """Deadline-aware priority miss queue with dedup, workers, and drain.
 
     *executors* is a non-empty list of
     :class:`~repro.harness.sweep.SweepExecutor`\\ s — one dedicated
@@ -106,8 +110,10 @@ class RequestScheduler:
             raise ValueError("RequestScheduler needs at least one executor")
         self.max_pending = max(1, int(max_pending))
         self._cond = threading.Condition()
-        self._queue = deque()
-        self._by_key = {}               # key -> queued/running MissTask
+        self._heap = []                 # [priority, seq, task-or-None]
+        self._queued = 0                # live (non-stale) heap entries
+        self._seq = 0
+        self._by_key = {}               # key -> queued/running Task
         self._running = 0
         self._closed = False
         # Instance-exact counters (the global REGISTRY aggregates across
@@ -117,6 +123,7 @@ class RequestScheduler:
         self.rejected = 0
         self.completed = 0
         self.failed = 0
+        self.shed = 0
         self._threads = [
             threading.Thread(target=self._worker, args=(executor,),
                              name="repro-miss-%d" % index, daemon=True)
@@ -130,9 +137,16 @@ class RequestScheduler:
 
     # -- intake ---------------------------------------------------------------
 
-    def submit(self, point):
+    def submit(self, point, priority=PRIORITY_NORMAL, deadline=None,
+               provenance=None):
         """Queue *point* (or join its in-flight task); returns the
-        :class:`MissTask` to :meth:`result` on.
+        :class:`~repro.harness.task.Task` to :meth:`result` on.
+
+        *priority* is an int class (lower runs first), *deadline* an
+        absolute ``time.monotonic()`` timestamp or None. A submission
+        whose deadline has already passed is shed immediately — the
+        returned task is already resolved to a ``DeadlineExceededError``
+        :class:`~repro.harness.sweep.PointFailure` and never queues.
 
         Raises :class:`~repro.errors.QueueFullError` when *max_pending*
         tasks are already queued and
@@ -140,6 +154,7 @@ class RequestScheduler:
         draining — both well-formed-but-unservable (HTTP 503).
         """
         key = point_key(point)
+        now = time.monotonic()
         with self._cond:
             if self._closed:
                 self.rejected += 1
@@ -148,70 +163,135 @@ class RequestScheduler:
                     "the miss scheduler is shutting down")
             task = self._by_key.get(key)
             if task is not None:
-                task.joins += 1
-                self.dedup_joins += 1
-                _DEDUP_JOINS.inc()
+                self._join_locked(task, priority, deadline)
                 return task
-            if len(self._queue) >= self.max_pending:
+            if deadline is not None and now >= deadline:
+                return self._shed_new_locked(key, point, priority, deadline,
+                                             provenance,
+                                             reason="expired-on-submit")
+            if self._queued >= self.max_pending:
                 self.rejected += 1
                 _REJECTED.inc(reason="full")
                 raise QueueFullError(
                     "miss queue full (%d tasks pending; retry later)"
-                    % len(self._queue))
-            task = MissTask(key, point)
-            self._by_key[key] = task
-            self._queue.append(task)
-            self.submitted += 1
-            _SUBMITTED.inc()
-            _DEPTH.inc()
+                    % self._queued)
+            task = self._enqueue_locked(key, point, priority, deadline,
+                                        provenance)
             self._cond.notify()
             return task
 
-    def submit_all(self, points):
+    def submit_all(self, points, priority=PRIORITY_NORMAL, deadline=None,
+                   provenance=None):
         """Atomically queue a batch in order (one lock hold, so another
         request cannot interleave into the middle of this one); returns
-        one task per point, deduplicated like :meth:`submit`."""
+        one task per point, deduplicated like :meth:`submit`. The whole
+        batch shares one priority/deadline/provenance; an expired
+        deadline sheds every non-joined point without queueing any."""
+        now = time.monotonic()
         with self._cond:
             if self._closed:
                 self.rejected += 1
                 _REJECTED.inc(reason="closed")
                 raise QueueClosedError(
                     "the miss scheduler is shutting down")
+            expired = deadline is not None and now >= deadline
             # Plan first, mutate nothing: a rejected batch must leave
             # every counter (and other requests' live tasks) untouched.
-            plan = []                   # (task, joined_existing)
-            fresh = []
+            plan = []                   # (key, point, existing-or-None)
+            fresh_keys = []
+            seen = set()
             for point in points:
                 key = point_key(point)
-                task = self._by_key.get(key)
-                if task is None:
-                    task = next((t for t in fresh if t.key == key), None)
-                joined = task is not None
-                if not joined:
-                    task = MissTask(key, point)
-                    fresh.append(task)
-                plan.append((task, joined))
-            if len(self._queue) + len(fresh) > self.max_pending:
+                existing = self._by_key.get(key)
+                plan.append((key, point, existing))
+                if existing is None and key not in seen:
+                    seen.add(key)
+                    fresh_keys.append(key)
+            if not expired and self._queued + len(fresh_keys) \
+                    > self.max_pending:
                 self.rejected += 1
                 _REJECTED.inc(reason="full")
                 raise QueueFullError(
                     "miss queue full (%d pending + %d new > %d; retry "
-                    "later)" % (len(self._queue), len(fresh),
+                    "later)" % (self._queued, len(fresh_keys),
                                 self.max_pending))
-            tasks = [task for task, _ in plan]
-            for task, joined in plan:
-                if joined:
+            tasks = []
+            fresh = {}                  # key -> task created in this batch
+            for key, point, existing in plan:
+                if existing is not None:
+                    self._join_locked(existing, priority, deadline)
+                    tasks.append(existing)
+                    continue
+                task = fresh.get(key)
+                if task is not None:
                     task.joins += 1
                     self.dedup_joins += 1
                     _DEDUP_JOINS.inc()
-            for task in fresh:
-                self._by_key[task.key] = task
-                self._queue.append(task)
-                self.submitted += 1
-                _SUBMITTED.inc()
-            _DEPTH.inc(len(fresh))
+                elif expired:
+                    task = self._shed_new_locked(
+                        key, point, priority, deadline, provenance,
+                        reason="expired-on-submit")
+                    fresh[key] = task
+                else:
+                    task = self._enqueue_locked(key, point, priority,
+                                                deadline, provenance)
+                    fresh[key] = task
+                tasks.append(task)
             self._cond.notify(len(fresh))
         return tasks
+
+    def _enqueue_locked(self, key, point, priority, deadline, provenance):
+        self._seq += 1
+        task = Task(key, point, priority=priority, deadline=deadline,
+                    provenance=provenance, seq=self._seq)
+        task.entry = [priority, task.seq, task]
+        heapq.heappush(self._heap, task.entry)
+        self._queued += 1
+        self._by_key[key] = task
+        self.submitted += 1
+        _SUBMITTED.inc()
+        _DEPTH.inc(priority=priority_label(priority))
+        return task
+
+    def _join_locked(self, task, priority, deadline):
+        """Join *task*, adopting the tightest deadline / highest priority."""
+        task.joins += 1
+        self.dedup_joins += 1
+        _DEDUP_JOINS.inc()
+        if deadline is not None and (task.deadline is None
+                                     or deadline < task.deadline):
+            task.deadline = deadline
+        if priority < task.priority and not task.started:
+            # Upgrade in place: lazily invalidate the old heap entry and
+            # push a replacement that keeps the original seq, preserving
+            # FIFO arrival order within the new class.
+            old = task.priority
+            if task.entry is not None:
+                task.entry[2] = None
+            task.priority = priority
+            task.entry = [priority, task.seq, task]
+            heapq.heappush(self._heap, task.entry)
+            _DEPTH.dec(priority=priority_label(old))
+            _DEPTH.inc(priority=priority_label(priority))
+            self._cond.notify()
+
+    def _shed_new_locked(self, key, point, priority, deadline, provenance,
+                         reason):
+        """Resolve a never-queued task as an expired-deadline failure."""
+        self._seq += 1
+        task = Task(key, point, priority=priority, deadline=deadline,
+                    provenance=provenance, seq=self._seq)
+        self._resolve_shed_locked(task, reason)
+        return task
+
+    def _resolve_shed_locked(self, task, reason):
+        self.shed += 1
+        _SHED.inc(reason=reason)
+        task.result = PointFailure(
+            task.point, "DeadlineExceededError",
+            "deadline expired before this point ran (%s)" % reason)
+        task.event.set()
+        self._cond.notify_all()
 
     def result(self, task, timeout=None):
         """Block until *task* completes; returns its
@@ -228,13 +308,23 @@ class RequestScheduler:
     def _worker(self, executor):
         while True:
             with self._cond:
-                while not self._queue and not self._closed:
-                    self._cond.wait()
-                if not self._queue:          # closed and drained
-                    return
-                task = self._queue.popleft()
+                task = None
+                while task is None:
+                    while not self._heap and not self._closed:
+                        self._cond.wait()
+                    if not self._heap:   # closed and drained
+                        return
+                    entry = heapq.heappop(self._heap)
+                    task = entry[2]      # None == stale (upgraded) entry
+                self._queued -= 1
+                task.entry = None
+                _DEPTH.dec(priority=priority_label(task.priority))
+                if task.expired():
+                    self._by_key.pop(task.key, None)
+                    self._resolve_shed_locked(task, "expired-in-queue")
+                    continue
+                task.started = True
                 self._running += 1
-                _DEPTH.dec()
                 _INFLIGHT.inc()
             _WAIT.observe(time.perf_counter() - task.submitted_at)
             try:
@@ -261,17 +351,26 @@ class RequestScheduler:
 
     def stats_dict(self):
         """JSON-able scheduler counters (the ``queue`` block of
-        ``GET /cache/info``)."""
+        ``GET /cache/info``). ``by_priority`` maps priority-class labels
+        to queued-task counts (empty when the queue is empty); ``shed``
+        counts deadline-expired tasks resolved without simulating."""
         with self._cond:
+            by_priority = {}
+            for entry in self._heap:
+                if entry[2] is not None:
+                    label = priority_label(entry[0])
+                    by_priority[label] = by_priority.get(label, 0) + 1
             return {"workers": self.workers,
                     "max_pending": self.max_pending,
-                    "depth": len(self._queue),
+                    "depth": self._queued,
+                    "by_priority": by_priority,
                     "inflight": self._running,
                     "submitted": self.submitted,
                     "dedup_joins": self.dedup_joins,
                     "rejected": self.rejected,
                     "completed": self.completed,
                     "failed": self.failed,
+                    "shed": self.shed,
                     "draining": self._closed}
 
     # -- shutdown -------------------------------------------------------------
@@ -292,13 +391,18 @@ class RequestScheduler:
         with self._cond:
             self._closed = True
             if not drain:
-                while self._queue:
-                    task = self._queue.popleft()
+                while self._heap:
+                    entry = heapq.heappop(self._heap)
+                    task = entry[2]
+                    if task is None:
+                        continue
+                    self._queued -= 1
+                    task.entry = None
                     self._by_key.pop(task.key, None)
                     self.completed += 1
                     self.failed += 1
                     _COMPLETED.inc(outcome="failed")
-                    _DEPTH.dec()
+                    _DEPTH.dec(priority=priority_label(task.priority))
                     task.result = PointFailure(
                         task.point, "QueueClosedError",
                         "service shut down before this point ran")

@@ -84,7 +84,9 @@ __all__ = [
 #: Bump on any incompatible wire-protocol change; checked in the handshake
 #: together with :data:`~repro.harness.cache.CACHE_VERSION` and
 #: ``repro.__version__``.
-PROTOCOL_VERSION = 1
+#: 2: ok outcomes carry the measured per-point simulation wall time
+#: (``["ok", result, sim_seconds]``) for the cache metadata index.
+PROTOCOL_VERSION = 2
 
 #: Default seconds to wait for one chunk result before declaring the
 #: worker dead (simulated chunks are minutes at most; a silent worker past
@@ -196,16 +198,23 @@ def recv_message(sock):
 
 
 def _encode_outcome(outcome):
-    """Wire form of one :func:`~repro.harness.sweep._safe_worker` outcome."""
+    """Wire form of one :func:`~repro.harness.sweep._safe_worker` outcome.
+
+    Successes ship the worker-measured simulation wall time as the third
+    element so the coordinator's cache index learns recompute costs for
+    points simulated on remote machines.
+    """
     if outcome[0] == "ok":
-        return ["ok", encode_result(outcome[1])]
+        sim_cost = outcome[2] if len(outcome) > 2 else None
+        return ["ok", encode_result(outcome[1]), sim_cost]
     return list(outcome)
 
 
 def _decode_outcome(payload):
     """Inverse of :func:`_encode_outcome`."""
     if payload[0] == "ok":
-        return ("ok", decode_result(payload[1]))
+        sim_cost = payload[2] if len(payload) > 2 else None
+        return ("ok", decode_result(payload[1]), sim_cost)
     tag, error, message, worker_tb = payload
     return (tag, error, message, worker_tb)
 

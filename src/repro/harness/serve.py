@@ -41,14 +41,21 @@ three consumers share one contract.
 Concurrency model: the cache hit path is lock-free (content-addressed
 files, atomically replaced — concurrent readers can never observe a torn
 entry), so warm traffic scales with the server's thread pool. Miss-path
-work for ``/point`` and ``/sweep`` flows through a bounded FIFO
-:class:`~repro.harness.queue.RequestScheduler` (``--miss-workers``
-executors, each with its own backend, sharing one cache; per-point
-in-flight dedup; ``--max-pending`` backpressure mapped to 503). Figure
-*builds* stay serialized behind one dedicated executor (a figure is a
-whole tuning campaign, not a point), but warm figures answer lock-free.
-Shutdown drains: queued and in-flight misses finish before the process
-exits, so a killed service never tears a cache write.
+work for ``/point`` and ``/sweep`` flows through a bounded
+priority-queue :class:`~repro.harness.queue.RequestScheduler`
+(``--miss-workers`` executors, each with its own backend, sharing one
+cache; per-point in-flight dedup; ``--max-pending`` backpressure mapped
+to 503). Requests may carry a **priority class** and a **deadline**
+(``X-Repro-Priority`` / ``X-Repro-Deadline-Ms`` headers, or the
+``priority``/``deadline_ms`` body fields of ``POST /sweep``): higher
+priorities run first (FIFO within a class), expired work is shed without
+simulating and mapped to a structured 504 with ``"retry": true``, as is
+a miss that outlives ``--request-timeout`` (the handler's bounded wait —
+the simulation keeps running and lands in the cache for the retry).
+Figure *builds* stay serialized behind one dedicated executor (a figure
+is a whole tuning campaign, not a point), but warm figures answer
+lock-free. Shutdown drains: queued and in-flight misses finish before
+the process exits, so a killed service never tears a cache write.
 """
 
 import json
@@ -69,6 +76,7 @@ from .metrics import REGISTRY
 from .queue import RequestScheduler
 from .sweep import (PointFailure, SweepExecutor, SweepPoint, SweepStats,
                     sweep_grid)
+from .task import Provenance, parse_priority
 from .variants import (ALL_GRANULARITIES, VARIANT_LABELS, TuningParams,
                        mask_params)
 
@@ -88,6 +96,11 @@ MAX_BODY = 16 * 1024 * 1024
 #: Prometheus text exposition content type served by ``GET /metrics``.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Default bound (seconds) on how long one HTTP handler waits for a miss
+#: (``--request-timeout``); past it the request 504s with ``retry: true``
+#: while the simulation continues toward the cache.
+DEFAULT_REQUEST_TIMEOUT = 300.0
+
 #: Variant labels whose ``+`` arrived as a space because the client did
 #: not URL-encode it (``+`` means space in a query string).
 _LABEL_BY_SPACED = {label.replace("+", " "): label
@@ -96,7 +109,8 @@ _LABEL_BY_SPACED = {label.replace("+", " "): label
 _POINT_KEYS = ("benchmark", "dataset", "label", "scale", "threshold",
                "coarsen", "aggregate", "group_blocks")
 
-_SWEEP_KEYS = ("pairs", "variants", "scale", "params", "on_error")
+_SWEEP_KEYS = ("pairs", "variants", "scale", "params", "on_error",
+               "priority", "deadline_ms")
 
 _PARAM_KEYS = ("threshold", "coarsen", "aggregate", "group_blocks")
 
@@ -214,14 +228,52 @@ def point_from_query(query):
                       DeviceConfig(), scale)
 
 
+def _priority_from(raw):
+    """Wire priority -> int class; ServeError (HTTP 400) on garbage."""
+    try:
+        return parse_priority(raw)
+    except ValueError as exc:
+        raise ServeError(str(exc))
+
+
+def _deadline_from(raw, where):
+    """Wire ``deadline_ms`` -> absolute ``time.monotonic()`` deadline (or
+    None); ServeError (HTTP 400) on garbage."""
+    if raw is None or raw == "":
+        return None
+    try:
+        millis = float(raw)
+    except (TypeError, ValueError):
+        raise ServeError("%s must be a number of milliseconds, not %r"
+                         % (where, raw))
+    if millis < 0:
+        raise ServeError("%s must be >= 0, not %r" % (where, raw))
+    return time.monotonic() + millis / 1000.0
+
+
 def _failure_payload(failure):
     """Structured JSON for one :class:`~repro.harness.sweep.PointFailure`
-    (the ``on_error`` contract of ``docs/sweep-engine.md``, over HTTP)."""
+    (the ``on_error`` contract of ``docs/sweep-engine.md``, over HTTP).
+    Deadline sheds additionally carry ``"retry": true`` — the point is
+    still computable, the caller's time budget just ran out."""
+    payload = {"status": "error",
+               "error": failure.error,
+               "message": failure.message,
+               "point": failure.point.spec(),
+               "describe": failure.point.describe()}
+    if failure.error == "DeadlineExceededError":
+        payload["retry"] = True
+    return payload
+
+
+def _timeout_payload(describe, timeout):
+    """Structured 504 body for a bounded miss wait that ran out; the
+    simulation keeps running, so a retry picks up the cached result."""
     return {"status": "error",
-            "error": failure.error,
-            "message": failure.message,
-            "point": failure.point.spec(),
-            "describe": failure.point.describe()}
+            "error": "TimeoutError",
+            "message": "%s not done within %.3fs; work continues toward "
+                       "the cache — retry" % (describe, timeout),
+            "retry": True}
 
 
 class _ArtifactMiss(Exception):
@@ -326,8 +378,12 @@ class QueryService:
 
     def __init__(self, cache_dir=".repro-cache", jobs=1, backend=None,
                  workers=None, worker_timeout=None, quiet=True,
-                 miss_workers=2, max_pending=64):
+                 miss_workers=2, max_pending=64,
+                 request_timeout=DEFAULT_REQUEST_TIMEOUT):
         self.cache_dir = str(cache_dir) if cache_dir else None
+        self.request_timeout = (None if request_timeout is None
+                                or request_timeout <= 0
+                                else float(request_timeout))
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.artifacts = FigureArtifactCache(cache_dir) if cache_dir else None
         miss_workers = max(1, int(miss_workers))
@@ -382,6 +438,7 @@ class QueryService:
                  "backend": self.executor.backend.name,
                  "cache_dir": self.cache_dir,
                  "miss_workers": self.scheduler.workers,
+                 "request_timeout": self.request_timeout,
                  "uptime_seconds": round(time.time() - self.started, 3),
                  "requests": self.requests,
                  "endpoints": list(ENDPOINTS)}, 200)
@@ -399,6 +456,8 @@ class QueryService:
                         if self.artifacts else None),
             "executor": self.executor_stats().to_dict(),
             "queue": self.scheduler.stats_dict(),
+            "index": (self.cache.index.stats_dict()
+                      if self.cache else None),
             "metrics": {"series": REGISTRY.series_count(),
                         "endpoint": "GET /metrics"},
             "backend": self.executor.backend.name,
@@ -411,12 +470,37 @@ class QueryService:
         :data:`METRICS_CONTENT_TYPE`."""
         return (REGISTRY.render(), 200)
 
-    def lookup_point(self, query):
+    def _miss_wait_timeout(self, deadline, wait_deadline=None):
+        """Seconds to block on a miss: the tighter of the request's
+        deadline and the service's ``request_timeout`` budget (None =
+        unbounded)."""
+        bounds = []
+        if wait_deadline is not None:
+            bounds.append(wait_deadline)
+        elif self.request_timeout is not None:
+            bounds.append(time.monotonic() + self.request_timeout)
+        if deadline is not None:
+            bounds.append(deadline)
+        if not bounds:
+            return None
+        return max(0.0, min(bounds) - time.monotonic())
+
+    def lookup_point(self, query, context=None):
         """``GET /point``: warm answers straight from the cache
         (lock-free), misses through the request scheduler — which dedups
         concurrent requests for one masked spec into a single
         computation and populates the cache, so the second identical
-        request is a hit."""
+        request is a hit.
+
+        *context* carries the HTTP layer's ``X-Repro-Priority`` /
+        ``X-Repro-Deadline-Ms`` / ``X-Repro-Request-Id`` headers plus the
+        client address. An expired deadline sheds the miss (504,
+        ``retry: true``); so does a miss that outlives the request
+        timeout (the simulation keeps running toward the cache)."""
+        context = context or {}
+        priority = _priority_from(context.get("priority"))
+        deadline = _deadline_from(context.get("deadline_ms"),
+                                  "X-Repro-Deadline-Ms")
         point = point_from_query(query)
         # Optimistic lock-free pre-check; the executor's own get() is the
         # authoritative (counted) miss, so this one stays uncounted.
@@ -425,28 +509,54 @@ class QueryService:
         cache_state = "hit"
         if result is None:
             cache_state = "miss"
-            task = self.scheduler.submit(point)
-            result = self.scheduler.result(task)
+            task = self.scheduler.submit(
+                point, priority=priority, deadline=deadline,
+                provenance=Provenance(client=context.get("client"),
+                                      request_id=context.get("request_id"),
+                                      source="point"))
+            timeout = self._miss_wait_timeout(deadline)
+            try:
+                result = self.scheduler.result(task, timeout=timeout)
+            except TimeoutError:
+                _POINT_CACHE.inc(state=cache_state)
+                return (dict(_timeout_payload(point.describe(), timeout),
+                             point=point.spec()), 504)
         _POINT_CACHE.inc(state=cache_state)
         if isinstance(result, PointFailure):
-            return (_failure_payload(result), 500)
+            code = 504 if result.error == "DeadlineExceededError" else 500
+            return (_failure_payload(result), code)
         return ({"point": point.spec(),
                  "key": point_key(point),
                  "cache": cache_state,
                  "result": encode_result(result)}, 200)
 
-    def run_sweep(self, body):
+    def run_sweep(self, body, context=None):
         """``POST /sweep``: a grid spec; per-point results in grid order,
         failures as structured entries (``on_error="continue"``), or one
         500 naming the first failure (``on_error="raise"``). Warm points
-        resolve lock-free; the misses are scheduled as one FIFO batch
-        (deduplicated against in-flight work) and awaited together."""
+        resolve lock-free; the misses are scheduled as one batch
+        (deduplicated against in-flight work, FIFO within the request's
+        priority class) and awaited together.
+
+        ``priority``/``deadline_ms`` body fields (falling back to the
+        ``X-Repro-*`` headers) apply to the whole batch. Deadline-shed
+        misses surface as structured ``DeadlineExceededError`` entries
+        and count in ``stats.shed``; if the whole request came up empty
+        (no warm hits, every miss shed) — or the batch outlives the
+        request timeout — the response is a 504 with ``retry: true``.
+        Warm hits are served regardless of deadline."""
+        context = context or {}
         if not isinstance(body, dict):
             raise ServeError("POST /sweep body must be a JSON object")
         unknown = sorted(set(body) - set(_SWEEP_KEYS))
         if unknown:
             raise ServeError("unknown /sweep key(s) %s (have %s)"
                              % (", ".join(unknown), ", ".join(_SWEEP_KEYS)))
+        priority = _priority_from(body.get("priority",
+                                           context.get("priority")))
+        deadline = _deadline_from(body.get("deadline_ms",
+                                           context.get("deadline_ms")),
+                                  "deadline_ms")
         on_error = body.get("on_error", "continue")
         if on_error not in ("continue", "raise"):
             raise ServeError("on_error must be 'continue' or 'raise', "
@@ -487,24 +597,49 @@ class QueryService:
                 miss_indices.append(index)
         stats = {"points": len(points),
                  "hits": len(points) - len(miss_indices),
-                 "simulated": 0, "failed": 0}
+                 "simulated": 0, "failed": 0, "shed": 0}
         if miss_indices:
+            wait_deadline = (None if self.request_timeout is None
+                             else time.monotonic() + self.request_timeout)
             tasks = self.scheduler.submit_all(
-                [points[index] for index in miss_indices])
+                [points[index] for index in miss_indices],
+                priority=priority, deadline=deadline,
+                provenance=Provenance(client=context.get("client"),
+                                      request_id=context.get("request_id"),
+                                      source="sweep"))
             for index, task in zip(miss_indices, tasks):
-                results[index] = self.scheduler.result(task)
+                timeout = self._miss_wait_timeout(deadline, wait_deadline)
+                try:
+                    results[index] = self.scheduler.result(task, timeout)
+                except TimeoutError:
+                    return (_timeout_payload(
+                        "sweep (%d points)" % len(points),
+                        self.request_timeout), 504)
             for index in miss_indices:
-                if isinstance(results[index], PointFailure):
-                    stats["failed"] += 1
-                else:
+                result = results[index]
+                if not isinstance(result, PointFailure):
                     stats["simulated"] += 1
-        failures = [r for r in results if isinstance(r, PointFailure)]
-        if failures and on_error == "raise":
-            return (_failure_payload(failures[0]), 500)
+                elif result.error == "DeadlineExceededError":
+                    stats["shed"] += 1
+                else:
+                    stats["failed"] += 1
         entries = [_failure_payload(result)
                    if isinstance(result, PointFailure)
                    else {"status": "ok", "result": encode_result(result)}
                    for result in results]
+        if miss_indices and stats["shed"] == len(miss_indices) \
+                and stats["hits"] == 0:
+            # Nothing useful came back — every point expired before
+            # running — so say so at the top level. Any warm hit keeps
+            # the request a 200 with per-point shed entries instead.
+            return ({"error": "DeadlineExceededError",
+                     "message": "deadline expired before any of the %d "
+                                "cold points ran" % len(miss_indices),
+                     "retry": True, "points": len(points),
+                     "results": entries, "stats": stats}, 504)
+        failures = [r for r in results if isinstance(r, PointFailure)]
+        if failures and on_error == "raise":
+            return (_failure_payload(failures[0]), 500)
         return ({"points": len(points), "results": entries,
                  "stats": stats}, 200)
 
@@ -637,6 +772,16 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServeError("body is not valid JSON: %s" % exc)
 
+    def _request_context(self):
+        """Per-request scheduling context for the service layer: the
+        ``X-Repro-*`` headers (priority class, deadline budget, request
+        id) plus the client address — the raw material for
+        :class:`~repro.harness.task.Task` provenance."""
+        return {"client": self.client_address[0],
+                "request_id": self.headers.get("X-Repro-Request-Id"),
+                "priority": self.headers.get("X-Repro-Priority"),
+                "deadline_ms": self.headers.get("X-Repro-Deadline-Ms")}
+
     def _loopback_only(self):
         host = self.client_address[0]
         if host not in ("127.0.0.1", "::1", "::ffff:127.0.0.1"):
@@ -692,12 +837,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 route = "/point"
                 payload, code = self._only("GET", method,
                                            lambda: service.lookup_point(
-                                               query))
+                                               query,
+                                               self._request_context()))
             elif path == "/sweep":
                 route = "/sweep"
                 payload, code = self._only(
                     "POST", method,
-                    lambda: service.run_sweep(self._read_json_body()))
+                    lambda: service.run_sweep(self._read_json_body(),
+                                              self._request_context()))
             elif path.startswith("/figure/"):
                 route = "/figure"
                 name = path[len("/figure/"):]

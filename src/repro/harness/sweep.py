@@ -218,9 +218,15 @@ def _safe_worker(point):
     the tuple back into a :class:`SweepPointError`/:class:`PointFailure`
     attributed to this exact point. BaseExceptions (KeyboardInterrupt,
     SystemExit) propagate so a sweep stays interruptible.
+
+    Successes carry the measured simulation wall time as a third
+    element — the executor hands it to the cache store path so the
+    metadata index learns per-point recompute costs.
     """
     try:
-        return ("ok", _simulate_point(point))
+        started = time.perf_counter()
+        result = _simulate_point(point)
+        return ("ok", result, time.perf_counter() - started)
     except Exception as exc:
         return ("error", type(exc).__name__, str(exc),
                 traceback.format_exc())
@@ -244,7 +250,7 @@ class Backend:
     """Strategy for executing a batch of cache-miss points.
 
     ``map`` takes SweepPoints and returns one outcome tuple per point, in
-    input order: ``("ok", RunResult)`` or
+    input order: ``("ok", RunResult, sim_seconds)`` or
     ``("error", type_name, message, traceback)`` (the :func:`_safe_worker`
     encoding). Pools are created lazily on the first batch and reused
     across batches until :meth:`close`.
@@ -521,11 +527,12 @@ class SweepExecutor:
                 point = points[index]
                 if outcome[0] == "ok":
                     result = outcome[1]
+                    sim_cost = outcome[2] if len(outcome) > 2 else None
                     results[index] = result
                     self.stats.simulated += 1
                     _POINTS_TOTAL.inc(outcome="simulated")
                     if self.cache is not None:
-                        self.cache.put(point, result)
+                        self.cache.put(point, result, sim_cost=sim_cost)
                 else:
                     _, error, message, worker_tb = outcome
                     self.stats.failed += 1

@@ -1,0 +1,151 @@
+"""The Task record carried through the serving miss path.
+
+PR 5's scheduler queued bare points in a FIFO ``deque``; nothing in the
+pipeline could say *whose* work a queue slot was, how urgent it was, or
+when it stopped being worth doing. This module makes the unit of
+scheduling a first-class :class:`Task`: the sweep point plus its masked
+cache key, an integer **priority class**, an absolute **deadline**, and
+:class:`Provenance` (which client asked, under which request id, via
+which path). ``harness/queue.py`` orders its heap by
+``(priority, seq)`` — strict FIFO within a class — and sheds tasks whose
+deadline has already passed instead of simulating them.
+
+Priority classes are small ints, lower = more urgent. The named classes
+cover the serving tier's needs (interactive ``high``, default
+``normal``, background/prefetch ``low``), but any non-negative int is
+accepted so future tiers can slot between them.
+
+>>> from repro.harness.task import parse_priority, priority_label
+>>> parse_priority("high"), parse_priority("2"), parse_priority(None)
+(0, 2, 1)
+>>> priority_label(0), priority_label(7)
+('high', '7')
+"""
+
+import threading
+import time
+
+__all__ = [
+    "PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW", "PRIORITY_NAMES",
+    "Provenance", "Task", "parse_priority", "priority_label",
+]
+
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+#: name -> class, the vocabulary accepted on the wire
+PRIORITY_NAMES = {
+    "high": PRIORITY_HIGH,
+    "normal": PRIORITY_NORMAL,
+    "low": PRIORITY_LOW,
+}
+
+_PRIORITY_LABELS = {value: name for name, value in PRIORITY_NAMES.items()}
+
+
+def parse_priority(raw):
+    """Normalize a wire-level priority (name, int, int-string, or None).
+
+    Returns :data:`PRIORITY_NORMAL` for ``None``/empty. Raises
+    ``ValueError`` on anything else that is not a named class or a
+    non-negative integer.
+    """
+    if raw is None:
+        return PRIORITY_NORMAL
+    if isinstance(raw, bool):
+        raise ValueError("invalid priority: %r" % (raw,))
+    if isinstance(raw, int):
+        value = raw
+    else:
+        text = str(raw).strip().lower()
+        if not text:
+            return PRIORITY_NORMAL
+        if text in PRIORITY_NAMES:
+            return PRIORITY_NAMES[text]
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                "invalid priority %r (expected %s or a non-negative int)"
+                % (raw, "|".join(sorted(PRIORITY_NAMES))))
+    if value < 0:
+        raise ValueError("invalid priority %r (must be >= 0)" % (raw,))
+    return value
+
+
+def priority_label(priority):
+    """Human/metric label for a priority class (``high|normal|low`` or
+    the bare int for unnamed classes)."""
+    return _PRIORITY_LABELS.get(priority, str(priority))
+
+
+class Provenance:
+    """Who asked for a task and through which path.
+
+    *source* is one of ``point`` (GET /point miss), ``sweep``
+    (POST /sweep miss), or ``prefetch`` (background warmers, reserved
+    for the fleet-cache tier). Free-form *client* / *request_id* strings
+    come from the HTTP layer and are carried for logs, quotas, and
+    future per-client accounting — the scheduler never keys on them.
+    """
+
+    __slots__ = ("client", "request_id", "source")
+
+    def __init__(self, client=None, request_id=None, source="point"):
+        self.client = client
+        self.request_id = request_id
+        self.source = source
+
+    def to_dict(self):
+        return {"client": self.client,
+                "request_id": self.request_id,
+                "source": self.source}
+
+    def __repr__(self):
+        return ("Provenance(client=%r, request_id=%r, source=%r)"
+                % (self.client, self.request_id, self.source))
+
+
+class Task:
+    """One schedulable miss: point + key + priority + deadline + origin.
+
+    Multiple requests may hold the same task (dedup joins); each calls
+    :meth:`RequestScheduler.result` to block on the shared ``event``.
+    *deadline* is absolute ``time.monotonic()`` seconds (or None); a
+    join adopts the tightest deadline and highest priority of its
+    joiners. *seq* is assigned by the scheduler and never changes — it
+    is the FIFO tiebreaker inside a priority class, so a task upgraded
+    to a higher class still sorts by its original arrival order there.
+    """
+
+    __slots__ = ("key", "point", "priority", "deadline", "provenance",
+                 "seq", "entry", "started", "event", "result", "joins",
+                 "submitted_at")
+
+    def __init__(self, key, point, priority=PRIORITY_NORMAL, deadline=None,
+                 provenance=None, seq=0):
+        self.key = key
+        self.point = point
+        self.priority = priority
+        self.deadline = deadline
+        self.provenance = provenance if provenance is not None \
+            else Provenance()
+        self.seq = seq
+        self.entry = None           # live heap entry, owned by the scheduler
+        self.started = False
+        self.event = threading.Event()
+        self.result = None
+        self.joins = 0
+        self.submitted_at = time.perf_counter()
+
+    def expired(self, now=None):
+        """True when the deadline (if any) has passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def __repr__(self):
+        return ("Task(key=%s…, priority=%s, deadline=%r, source=%s)"
+                % (self.key[:8], priority_label(self.priority),
+                   self.deadline, self.provenance.source))

@@ -157,7 +157,8 @@ class TestWorkerCommand:
         address = fleet.split(",")[0]
         assert main(["worker", "ping", address]) == 0
         out = capsys.readouterr().out
-        assert "alive" in out and "protocol 1" in out
+        from repro.harness.remote import PROTOCOL_VERSION
+        assert "alive" in out and "protocol %d" % PROTOCOL_VERSION in out
 
     def test_ping_unreachable(self, capsys):
         assert main(["worker", "ping", "127.0.0.1:1"]) == 1

@@ -160,10 +160,43 @@ class TestServingDocs:
         """The queue's operator-facing contract (backpressure, drain,
         dedup, metrics) must live in the serving page's runbook."""
         text = (DOCS / "serving.md").read_text()
-        for needle in ("503", "QueueFullError", "dedup",
+        for needle in ("503", "504", "QueueFullError",
+                       "DeadlineExceededError", "dedup",
                        "drain", "Prometheus", "BENCH_serve.json"):
             assert needle in text, \
                 "serving.md lost the %r semantics" % needle
+
+    def test_priority_and_deadline_surface_documented(self):
+        """The scheduling headers, body fields, and priority names must
+        all be spelled out on the serving page."""
+        text = (DOCS / "serving.md").read_text()
+        for needle in ("X-Repro-Priority", "X-Repro-Deadline-Ms",
+                       "X-Repro-Request-Id", "`priority`",
+                       "`deadline_ms`", "--request-timeout"):
+            assert needle in text, \
+                "serving.md does not document %r" % needle
+
+    def test_every_cache_action_documented(self):
+        """Every ``repro cache <action>`` the parser registers (and
+        every prune policy / top ordering) is named in the docs."""
+        from repro.cli import build_parser
+        from repro.harness.cache import PRUNE_POLICIES
+
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0]
+        cache = subparsers.choices["cache"]
+        actions = next(a.choices for a in cache._actions
+                       if a.dest == "action")
+        assert {"reindex", "top", "stats"} <= set(actions)
+        text = "".join(p.read_text() for p in doc_pages())
+        for action in actions:
+            assert "cache %s" % action in text, \
+                "docs never mention 'repro cache %s'" % action
+        for policy in PRUNE_POLICIES:
+            assert "`--policy %s`" % policy in text \
+                or "--policy %s" % policy in text \
+                or "`%s`" % policy in text, \
+                "docs never mention prune policy %r" % policy
 
     def test_metric_families_documented(self):
         """Every metric family the registry knows at import time is

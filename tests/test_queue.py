@@ -303,10 +303,10 @@ class TestStats:
             scheduler.result(scheduler.submit(make_point(4)), timeout=30)
             stats = scheduler.stats_dict()
             assert stats == {"workers": 1, "max_pending": 8, "depth": 0,
-                             "inflight": 0, "submitted": 1,
-                             "dedup_joins": 0, "rejected": 0,
-                             "completed": 1, "failed": 0,
-                             "draining": False}
+                             "by_priority": {}, "inflight": 0,
+                             "submitted": 1, "dedup_joins": 0,
+                             "rejected": 0, "completed": 1, "failed": 0,
+                             "shed": 0, "draining": False}
         finally:
             close_quietly(scheduler)
 

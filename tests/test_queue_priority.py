@@ -1,0 +1,341 @@
+"""Priority classes and deadlines on the request scheduler
+(repro.harness.queue + repro.harness.task).
+
+Covers the heap ordering contract — priority classes with strict FIFO
+inside each class — plus dedup joins adopting the tightest
+deadline/highest priority, and deadline shedding on both paths
+(expired-on-submit and expired-in-queue) without ever touching the
+simulator.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.harness.queue import RequestScheduler
+from repro.harness.sweep import PointFailure, SweepPoint
+from repro.harness.task import (PRIORITY_HIGH, PRIORITY_LOW,
+                                PRIORITY_NORMAL, Provenance, parse_priority,
+                                priority_label)
+from repro.harness.variants import TuningParams
+
+
+def make_point(threshold):
+    """Distinct thresholds on CDP+T give distinct masked cache keys."""
+    return SweepPoint("BFS", "KRON", "CDP+T",
+                      TuningParams(threshold=threshold), scale=0.08)
+
+
+class FakeExecutor:
+    def __init__(self, fn=None):
+        self.fn = fn or (lambda point: ("result", point.params.threshold))
+        self.ran = []
+
+    def run_one(self, point, on_error="continue"):
+        self.ran.append(point)
+        return self.fn(point)
+
+
+class GatedExecutor(FakeExecutor):
+    """Blocks every run until the test opens the gate."""
+
+    def __init__(self, fn=None):
+        super().__init__(fn)
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def run_one(self, point, on_error="continue"):
+        self.entered.set()
+        assert self.gate.wait(30), "test gate never opened"
+        return super().run_one(point, on_error=on_error)
+
+
+def close_quietly(scheduler):
+    scheduler.close(drain=False, timeout=5)
+
+
+def run_order(executor):
+    return [p.params.threshold for p in executor.ran]
+
+
+class TestParsePriority:
+    def test_names_and_ints(self):
+        assert parse_priority("high") == PRIORITY_HIGH
+        assert parse_priority("NORMAL") == PRIORITY_NORMAL
+        assert parse_priority("low") == PRIORITY_LOW
+        assert parse_priority(None) == PRIORITY_NORMAL
+        assert parse_priority("") == PRIORITY_NORMAL
+        assert parse_priority("7") == 7
+        assert parse_priority(2) == PRIORITY_LOW
+
+    @pytest.mark.parametrize("bad", ("urgent", "-1", -1, 1.5, True))
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_priority(bad)
+
+    def test_labels_round_trip(self):
+        assert priority_label(PRIORITY_HIGH) == "high"
+        assert priority_label(PRIORITY_NORMAL) == "normal"
+        assert priority_label(PRIORITY_LOW) == "low"
+        assert priority_label(7) == "7"
+
+
+class TestPriorityOrdering:
+    def test_high_priority_jumps_queued_normal_work(self):
+        """A saturated scheduler must run a late high-priority submission
+        before earlier normal-priority queued work (the ISSUE's
+        acceptance scenario)."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            normals = [scheduler.submit(make_point(t)) for t in (4, 8)]
+            urgent = scheduler.submit(make_point(64),
+                                      priority=PRIORITY_HIGH)
+            executor.gate.set()
+            for task in [blocker, urgent] + normals:
+                scheduler.result(task, timeout=30)
+            assert run_order(executor) == [2, 64, 4, 8]
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_fifo_within_each_class(self):
+        """seq breaks ties, so equal-priority work cannot starve: each
+        class drains in strict submission order."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            submitted = [
+                scheduler.submit(make_point(4), priority=PRIORITY_LOW),
+                scheduler.submit(make_point(8), priority=PRIORITY_HIGH),
+                scheduler.submit(make_point(16), priority=PRIORITY_NORMAL),
+                scheduler.submit(make_point(32), priority=PRIORITY_HIGH),
+                scheduler.submit(make_point(64), priority=PRIORITY_NORMAL),
+            ]
+            executor.gate.set()
+            for task in [blocker] + submitted:
+                scheduler.result(task, timeout=30)
+            # high FIFO (8, 32), then normal FIFO (16, 64), then low (4).
+            assert run_order(executor) == [2, 8, 32, 16, 64, 4]
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_default_settings_degenerate_to_fifo(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            tasks = [scheduler.submit(make_point(t)) for t in (4, 8, 16)]
+            executor.gate.set()
+            for task in tasks:
+                scheduler.result(task, timeout=30)
+            assert run_order(executor) == [4, 8, 16]
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_stats_report_depth_by_priority(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            scheduler.submit(make_point(4), priority=PRIORITY_HIGH)
+            scheduler.submit(make_point(8), priority=PRIORITY_HIGH)
+            scheduler.submit(make_point(16), priority=PRIORITY_LOW)
+            stats = scheduler.stats_dict()
+            assert stats["depth"] == 3
+            assert stats["by_priority"] == {"high": 2, "low": 1}
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+
+class TestJoinAdoption:
+    def test_join_upgrades_priority_of_queued_task(self):
+        """A high-priority join promotes the queued task into the high
+        class (re-heaped with its original seq)."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            low_a = scheduler.submit(make_point(4), priority=PRIORITY_LOW)
+            low_b = scheduler.submit(make_point(8), priority=PRIORITY_LOW)
+            joined = scheduler.submit(make_point(8),
+                                      priority=PRIORITY_HIGH)
+            assert joined is low_b
+            assert low_b.priority == PRIORITY_HIGH
+            assert scheduler.dedup_joins == 1
+            executor.gate.set()
+            for task in (blocker, low_a, low_b):
+                scheduler.result(task, timeout=30)
+            assert run_order(executor) == [2, 8, 4]
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_join_never_downgrades(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            task = scheduler.submit(make_point(8), priority=PRIORITY_HIGH)
+            assert scheduler.submit(make_point(8),
+                                    priority=PRIORITY_LOW) is task
+            assert task.priority == PRIORITY_HIGH
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_join_adopts_tightest_deadline(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            loose = time.monotonic() + 500
+            tight = time.monotonic() + 100
+            task = scheduler.submit(make_point(8), deadline=loose)
+            assert scheduler.submit(make_point(8),
+                                    deadline=tight) is task
+            assert task.deadline == tight
+            # A looser joiner never relaxes the adopted deadline.
+            assert scheduler.submit(make_point(8),
+                                    deadline=loose) is task
+            assert task.deadline == tight
+            # And an unbounded joiner leaves it in place too.
+            assert scheduler.submit(make_point(8)) is task
+            assert task.deadline == tight
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_upgraded_task_queues_fifo_in_its_new_class(self):
+        """The upgrade keeps the original seq: an older normal-priority
+        task still runs before a younger task promoted into normal."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            older = scheduler.submit(make_point(4))     # normal, seq i
+            younger = scheduler.submit(make_point(8),   # low, seq i+1
+                                       priority=PRIORITY_LOW)
+            scheduler.submit(make_point(8))             # promote to normal
+            assert younger.priority == PRIORITY_NORMAL
+            executor.gate.set()
+            for task in (blocker, older, younger):
+                scheduler.result(task, timeout=30)
+            assert run_order(executor) == [2, 4, 8]
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+
+class TestShedding:
+    def test_expired_on_submit_never_reaches_the_executor(self):
+        executor = FakeExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            task = scheduler.submit(make_point(4),
+                                    deadline=time.monotonic() - 0.01)
+            assert task.event.is_set()          # resolved synchronously
+            result = scheduler.result(task, timeout=1)
+            assert isinstance(result, PointFailure)
+            assert result.error == "DeadlineExceededError"
+            assert "expired-on-submit" in result.message
+            assert executor.ran == []
+            assert scheduler.shed == 1
+            # Shed accounting is separate from executor outcomes.
+            assert scheduler.submitted == 0
+            assert scheduler.completed == 0
+            assert scheduler.failed == 0
+            assert scheduler.stats_dict()["shed"] == 1
+        finally:
+            close_quietly(scheduler)
+
+    def test_expired_in_queue_sheds_at_pop(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            doomed = scheduler.submit(make_point(4),
+                                      deadline=time.monotonic() + 0.05)
+            time.sleep(0.1)                     # deadline passes while queued
+            executor.gate.set()
+            result = scheduler.result(doomed, timeout=30)
+            assert isinstance(result, PointFailure)
+            assert result.error == "DeadlineExceededError"
+            assert "expired-in-queue" in result.message
+            scheduler.result(blocker, timeout=30)
+            assert run_order(executor) == [2]   # doomed never executed
+            assert scheduler.shed == 1
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_unexpired_deadline_runs_normally(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=16)
+        try:
+            task = scheduler.submit(make_point(4),
+                                    deadline=time.monotonic() + 60)
+            assert scheduler.result(task, timeout=30) == ("result", 4)
+            assert scheduler.shed == 0
+        finally:
+            close_quietly(scheduler)
+
+    def test_expired_batch_sheds_without_capacity_check(self):
+        """An all-expired submit_all resolves every point immediately —
+        even a batch wider than max_pending, since nothing queues."""
+        executor = FakeExecutor()
+        scheduler = RequestScheduler([executor], max_pending=2)
+        try:
+            tasks = scheduler.submit_all(
+                [make_point(t) for t in (4, 8, 16, 32)],
+                deadline=time.monotonic() - 0.01)
+            assert len(tasks) == 4
+            for task in tasks:
+                result = scheduler.result(task, timeout=1)
+                assert isinstance(result, PointFailure)
+                assert result.error == "DeadlineExceededError"
+            assert executor.ran == []
+            assert scheduler.shed == 4
+        finally:
+            close_quietly(scheduler)
+
+    def test_shed_task_does_not_block_its_key(self):
+        """A shed never registers in the dedup map, so the same spec can
+        be resubmitted (e.g. with a saner deadline) right away."""
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=16)
+        try:
+            shed = scheduler.submit(make_point(4),
+                                    deadline=time.monotonic() - 0.01)
+            retry = scheduler.submit(make_point(4))
+            assert retry is not shed
+            assert scheduler.result(retry, timeout=30) == ("result", 4)
+        finally:
+            close_quietly(scheduler)
+
+
+class TestProvenance:
+    def test_provenance_rides_on_the_task(self):
+        scheduler = RequestScheduler([FakeExecutor()], max_pending=16)
+        try:
+            prov = Provenance(client="127.0.0.1", request_id="req-1",
+                              source="point")
+            task = scheduler.submit(make_point(4), provenance=prov)
+            assert task.provenance is prov
+            assert prov.to_dict() == {"client": "127.0.0.1",
+                                      "request_id": "req-1",
+                                      "source": "point"}
+            scheduler.result(task, timeout=30)
+        finally:
+            close_quietly(scheduler)

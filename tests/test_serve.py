@@ -191,10 +191,10 @@ class TestSweep:
         assert status == 200
         assert [entry["status"] for entry in cold["results"]] == ["ok", "ok"]
         assert cold["stats"] == {"points": 2, "hits": 0, "simulated": 2,
-                                 "failed": 0}
+                                 "failed": 0, "shed": 0}
         status, warm = fetch(server, "/sweep", data=self.BODY)
         assert warm["stats"] == {"points": 2, "hits": 2, "simulated": 0,
-                                 "failed": 0}
+                                 "failed": 0, "shed": 0}
         assert [e["result"] for e in warm["results"]] == \
             [e["result"] for e in cold["results"]]
 
@@ -673,3 +673,159 @@ class TestPointFromQuery:
         service = QueryService(cache_dir=str(tmp_path / "c"))
         service.close()
         service.close()
+
+
+def fetch_with_headers(server, path, headers, data=None):
+    """Like :func:`fetch`, with extra request headers."""
+    url = "http://%s:%d%s" % (*server.address, path)
+    payload = json.dumps(data).encode() if data is not None else None
+    request = urllib.request.Request(url, data=payload, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestPriorityAndDeadline:
+    def test_expired_deadline_sheds_without_simulating(self, server,
+                                                       monkeypatch):
+        """A cold point whose deadline already passed is 504'd without a
+        single simulator call, and the shed is visible in /metrics."""
+        monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
+        status, payload = fetch_with_headers(
+            server, POINT, {"X-Repro-Deadline-Ms": "0"})
+        assert status == 504
+        assert payload["error"] == "DeadlineExceededError"
+        assert payload["retry"] is True
+        assert "point" in payload
+        assert server.service.scheduler.shed == 1
+        assert server.service.scheduler.completed == 0
+        _, _, text = fetch_raw(server, "/metrics")
+        assert 'repro_queue_shed_total{reason="expired-on-submit"}' in text
+
+    def test_warm_hit_ignores_expired_deadline(self, server, monkeypatch):
+        assert fetch(server, POINT)[0] == 200        # populate
+        ban_executors(monkeypatch, server.service)
+        status, payload = fetch_with_headers(
+            server, POINT, {"X-Repro-Deadline-Ms": "0"})
+        assert status == 200
+        assert payload["cache"] == "hit"
+        assert server.service.scheduler.shed == 0
+
+    def test_priority_header_accepted(self, server):
+        status, payload = fetch_with_headers(
+            server, POINT, {"X-Repro-Priority": "high",
+                            "X-Repro-Request-Id": "req-42"})
+        assert status == 200
+        assert payload["cache"] == "miss"
+
+    def test_bad_priority_is_400(self, server):
+        status, payload = fetch_with_headers(
+            server, POINT, {"X-Repro-Priority": "urgent"})
+        assert status == 400
+        assert "priority" in payload["message"]
+
+    def test_bad_deadline_is_400(self, server):
+        for bad in ("-5", "soon"):
+            status, payload = fetch_with_headers(
+                server, POINT, {"X-Repro-Deadline-Ms": bad})
+            assert status == 400
+            assert "Deadline" in payload["message"]
+
+    def test_request_timeout_bounds_miss_waits(self, tmp_path, monkeypatch):
+        """Satellite: a miss slower than --request-timeout answers a
+        structured 504 with retry:true; the task still finishes and
+        lands in the cache, so the retry is warm."""
+        entered, gate = threading.Event(), threading.Event()
+        real = sweep_mod._simulate_point
+
+        def slow(point):
+            entered.set()
+            assert gate.wait(30), "test gate never opened"
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", slow)
+        srv = ServeServer(cache_dir=str(tmp_path / "cache"),
+                          miss_workers=1, request_timeout=0.2)
+        srv.start()
+        try:
+            status, payload = fetch(srv, POINT)
+            assert status == 504
+            assert payload["error"] == "TimeoutError"
+            assert payload["retry"] is True
+            gate.set()
+            deadline = time.time() + 30
+            while srv.service.scheduler.completed < 1:
+                assert time.time() < deadline, "miss never completed"
+                time.sleep(0.01)
+            status, payload = fetch(srv, POINT)
+            assert status == 200
+            assert payload["cache"] == "hit"
+        finally:
+            gate.set()
+            srv.close()
+
+    def test_sweep_all_misses_shed_is_504(self, server, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
+        status, payload = fetch(server, "/sweep", data={
+            "pairs": ["BFS:KRON"], "variants": ["CDP", "CDP+T"],
+            "params": {"threshold": 16}, "scale": float(SCALE),
+            "deadline_ms": 0})
+        assert status == 504
+        assert payload["error"] == "DeadlineExceededError"
+        assert payload["retry"] is True
+        assert payload["stats"]["shed"] == 2
+        assert payload["stats"]["points"] == 2
+        assert len(payload["results"]) == 2
+        for entry in payload["results"]:
+            assert entry["status"] == "error"
+            assert entry["error"] == "DeadlineExceededError"
+            assert entry["retry"] is True
+
+    def test_sweep_partial_shed_stays_200(self, server, monkeypatch):
+        """Warm points answer under an expired deadline; only the cold
+        remainder sheds, so the request succeeds with stats.shed set."""
+        warm = fetch(server, "/sweep", data={
+            "pairs": ["BFS:KRON"], "variants": ["CDP"],
+            "scale": float(SCALE)})
+        assert warm[0] == 200
+        monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
+        status, payload = fetch(server, "/sweep", data={
+            "pairs": ["BFS:KRON"], "variants": ["CDP", "CDP+T"],
+            "params": {"threshold": 16}, "scale": float(SCALE),
+            "deadline_ms": 0})
+        assert status == 200
+        assert payload["stats"]["hits"] == 1
+        assert payload["stats"]["shed"] == 1
+        assert payload["stats"]["failed"] == 0
+        statuses = [entry["status"] for entry in payload["results"]]
+        assert sorted(statuses) == ["error", "ok"]
+
+    def test_sweep_body_priority_and_bad_priority(self, server):
+        status, payload = fetch(server, "/sweep", data={
+            "pairs": ["BFS:KRON"], "variants": ["CDP"],
+            "scale": float(SCALE), "priority": "low"})
+        assert status == 200
+        status, payload = fetch(server, "/sweep", data={
+            "pairs": ["BFS:KRON"], "variants": ["CDP"],
+            "scale": float(SCALE), "priority": "whenever"})
+        assert status == 400
+
+    def test_cache_info_reports_index_and_priority_blocks(self, server):
+        fetch(server, POINT)            # miss -> store
+        fetch(server, POINT)            # hit -> meta bump
+        status, payload = fetch(server, "/cache/info")
+        assert status == 200
+        index = payload["index"]
+        assert index["entries"] == 1
+        assert index["by_kind"]["result"]["hits"] == 1
+        assert index["by_kind"]["result"]["sim_cost_seconds"] >= 0
+        queue = payload["queue"]
+        assert queue["by_priority"] == {}
+        assert queue["shed"] == 0
+
+    def test_healthz_reports_request_timeout(self, server):
+        status, payload = fetch(server, "/healthz")
+        assert status == 200
+        assert payload["request_timeout"] == pytest.approx(300.0)
