@@ -16,12 +16,18 @@ therefore lands on a different key — stale entries are never returned,
 only orphaned.
 
 Each blob carries a ``meta`` block (hit count, measured simulation cost
-in seconds, creation time, cache version) that is refreshed in place on
-every hit. The blobs stay authoritative; the
-:class:`~repro.harness.index.CacheIndex` is a write-through *mirror* of
+in seconds, creation time, cache version) written at store time. The
+:class:`~repro.harness.index.CacheIndex` is a write-through mirror of
 that metadata, queryable by SQL (``repro cache top|stats``, cost-aware
-prune) and rebuildable from the blobs alone via :meth:`ResultCache.reindex`
-(``repro cache reindex``) — deleting ``index.sqlite`` loses nothing.
+prune) and rebuildable from the blobs via :meth:`ResultCache.reindex`
+(``repro cache reindex``). The warm **hit path stays read-only on the
+blob**: a hit refreshes the blob's mtime (LRU order) and bumps the hit
+count only in the index — an atomic SQL increment, so concurrent hits
+across threads and processes are never lost and a figure artifact is
+never re-pickled just to count a hit. :meth:`ResultCache.sync_hits`
+folds the accumulated counts back into the blobs' ``meta`` blocks
+lazily (``prune`` and ``reindex`` run it first), so deleting
+``index.sqlite`` loses at most the hits taken since the last fold.
 
 Orphans are why the cache has a lifecycle: :meth:`ResultCache.info` counts
 entries and bytes, :meth:`ResultCache.prune` bounds both by evicting
@@ -193,6 +199,70 @@ def _remove_quietly(path):
         return False
 
 
+def _stat_size(path):
+    try:
+        return os.stat(path).st_size
+    except OSError:
+        return 0
+
+
+def _atomic_rewrite(path, blob, binary=False):
+    """Atomically replace *path* with *blob* (``mkstemp`` +
+    ``os.replace``); losing a race with prune/clear is fine — fall back
+    to a plain mtime touch."""
+    try:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb" if binary else "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        finally:
+            _remove_quietly(tmp)
+    except OSError:
+        _touch(path)
+
+
+def _fold_blob_hits(path, kind, hits, last_access):
+    """Rewrite one blob's ``meta.hits`` up to *hits* (the index's
+    accumulated count) — the lazy half of the read-only hit path. The
+    blob's mtime is restored to *last_access* afterwards so LRU/prune
+    order still reflects access time, not fold time. Returns 1 when the
+    blob was rewritten (0: already current, unreadable, or a pre-v4
+    bare figure artifact with no ``meta`` block)."""
+    try:
+        if kind == "result":
+            with open(path) as handle:
+                payload = json.load(handle)
+            meta = dict(payload.get("meta") or _fresh_meta())
+            if int(meta.get("hits", 0) or 0) >= hits:
+                return 0
+            meta["hits"] = hits
+            payload["meta"] = meta
+            blob, binary = json.dumps(payload), False
+        else:
+            with open(path, "rb") as handle:
+                wrapper = pickle.load(handle)
+            if not (isinstance(wrapper, dict)
+                    and wrapper.get(_FIGURE_WRAPPER_MARK)):
+                return 0
+            meta = dict(wrapper.get("meta") or _fresh_meta())
+            if int(meta.get("hits", 0) or 0) >= hits:
+                return 0
+            meta["hits"] = hits
+            wrapper["meta"] = meta
+            blob, binary = pickle.dumps(wrapper), True
+    except Exception:       # missing/corrupt blob: get()'s sweep owns it
+        return 0
+    _atomic_rewrite(path, blob, binary=binary)
+    if last_access is not None:
+        try:
+            os.utime(path, (last_access, last_access))
+        except OSError:
+            pass
+    return 1
+
+
 def _blob_key(path):
     """Cache key of a blob file (its basename minus the suffix)."""
     return os.path.basename(path).rsplit(".", 1)[0]
@@ -296,9 +366,11 @@ class ResultCache:
         or None on miss or corruption (corrupted entries are dropped so
         the point re-simulates).
 
-        A hit bumps the blob's ``meta.hits`` in place (atomic rewrite;
-        falls back to a bare mtime touch if the rewrite loses a race with
-        prune) and mirrors the new count into the index.
+        A hit leaves the blob untouched except for an mtime refresh
+        (prune's LRU order): the hit count is bumped atomically in the
+        index (:meth:`~repro.harness.index.CacheIndex.bump_hit`) and
+        folded back into the blob's ``meta`` block lazily by
+        :meth:`sync_hits`.
 
         ``count_miss=False`` suits optimistic pre-checks whose miss path
         calls ``get`` again — the HTTP query service's lock-free hit path
@@ -326,15 +398,19 @@ class ResultCache:
             return None
         self.hits += 1
         _LOOKUPS.inc(cache="result", outcome="hit")
-        meta = dict(payload.get("meta") or _fresh_meta())
-        meta["hits"] = int(meta.get("hits", 0) or 0) + 1
-        payload["meta"] = meta
-        nbytes = self._rewrite_json(path, payload)
-        self.index.record(key, "result", payload.get("spec"), nbytes,
-                          created=meta.get("created"),
-                          last_access=time.time(), hits=meta["hits"],
-                          sim_cost=meta.get("sim_cost_seconds"),
-                          cache_version=meta.get("cache_version"), op="hit")
+        _touch(path)
+        now = time.time()
+        if not self.index.bump_hit(key, now):
+            # The index lost this row (deleted, rebuilt, broken):
+            # resurrect it from the blob's own meta block.
+            meta = payload.get("meta") or {}
+            self.index.record(key, "result", payload.get("spec"),
+                              _stat_size(path), created=meta.get("created"),
+                              last_access=now,
+                              hits=int(meta.get("hits", 0) or 0) + 1,
+                              sim_cost=meta.get("sim_cost_seconds"),
+                              cache_version=meta.get("cache_version"),
+                              op="hit")
         return result
 
     def put(self, point, result, sim_cost=None):
@@ -371,23 +447,27 @@ class ResultCache:
                           sim_cost=sim_cost, cache_version=CACHE_VERSION)
         return True
 
-    def _rewrite_json(self, path, payload):
-        """Atomically rewrite *path* with *payload* (hit-count bump);
-        returns the new byte size. Losing a race with prune/clear is
-        fine — fall back to a plain mtime touch so LRU order still
-        advances."""
-        blob = json.dumps(payload)
-        try:
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            finally:
-                _remove_quietly(tmp)
-        except OSError:
-            _touch(path)
-        return len(blob)
+    def sync_hits(self):
+        """Fold the index's accumulated hit counts back into the blobs'
+        ``meta`` blocks (results *and* figure artifacts — this cache
+        owns the whole directory's lifecycle). The warm hit path bumps
+        only the index, so this is the step that makes hit counts
+        durable in the blobs; :meth:`prune` and :meth:`reindex` run it
+        first. Best-effort and idempotent; returns the number of blobs
+        rewritten."""
+        synced = 0
+        for row in self.index.entries():
+            hits = int(row.get("hits") or 0)
+            if hits <= 0:
+                continue
+            if row.get("kind") == "result":
+                path = self._path(row["key"])
+            else:
+                path = os.path.join(self._figures_dir(),
+                                    row["key"] + ".pkl")
+            synced += _fold_blob_hits(path, row.get("kind"), hits,
+                                      row.get("last_access"))
+        return synced
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -462,11 +542,16 @@ class ResultCache:
         measured ``sim_cost_seconds``; entries with unknown cost rank
         cheapest, ties break oldest-first), keeping the entries that
         were most expensive to simulate. *dry_run* computes the same
-        report without removing anything.
+        report without removing (or rewriting) anything.
+
+        A real prune first runs :meth:`sync_hits`, so hit counts taken
+        since the last fold become durable in the surviving blobs.
         """
         if policy not in PRUNE_POLICIES:
             raise ValueError("unknown prune policy %r (expected %s)"
                              % (policy, "|".join(PRUNE_POLICIES)))
+        if not dry_run:
+            self.sync_hits()
         entries, tmp_files = self._scan()
         report = PruneReport(policy=policy, dry_run=dry_run)
         now = time.time() if now is None else now
@@ -509,10 +594,15 @@ class ResultCache:
         """Rebuild ``index.sqlite`` from the blobs (``repro cache
         reindex``); returns the number of entries indexed.
 
-        The blobs' ``meta`` blocks carry hit counts, sim costs, and
-        creation times, so a rebuilt index is equivalent to the
-        write-through one — deleting ``index.sqlite`` is always safe.
+        Any hit counts still accumulated only in a readable live index
+        are folded into the blobs first (:meth:`sync_hits` — a no-op
+        when the index is gone or garbage), then the blobs' ``meta``
+        blocks (hit counts, sim costs, creation times) rebuild the
+        index from scratch — so reindexing over a live index loses
+        nothing, and deleting ``index.sqlite`` loses at most the hits
+        taken since the last fold.
         """
+        self.sync_hits()
         entries, _ = self._scan()
         rows = []
         for path, size, mtime in entries:
@@ -614,23 +704,25 @@ class FigureArtifactCache:
         self.hits += 1
         _LOOKUPS.inc(cache="figure", outcome="hit")
         if isinstance(stored, dict) and stored.get(_FIGURE_WRAPPER_MARK):
-            wrapper, artifact = stored, stored["artifact"]
+            meta = stored.get("meta") or {}
+            artifact = stored["artifact"]
         else:                           # pre-v4 bare artifact
-            wrapper, artifact = None, stored
-        if wrapper is not None:
-            meta = dict(wrapper.get("meta") or _fresh_meta())
-            meta["hits"] = int(meta.get("hits", 0) or 0) + 1
-            wrapper["meta"] = meta
-            nbytes = self._rewrite_pickle(path, wrapper)
+            meta, artifact = {}, stored
+        # Read-only hit path: never re-pickle the (potentially large)
+        # artifact just to count a hit — mtime touch for LRU, atomic
+        # hit bump in the index, lazy fold-back via sync_hits().
+        _touch(path)
+        now = time.time()
+        if not self.index.bump_hit(key, now):
             self.index.record(key, "figure",
-                              {"figure": name, "spec": spec}, nbytes,
+                              {"figure": name, "spec": spec},
+                              _stat_size(path),
                               created=meta.get("created"),
-                              last_access=time.time(), hits=meta["hits"],
+                              last_access=now,
+                              hits=int(meta.get("hits", 0) or 0) + 1,
                               sim_cost=meta.get("sim_cost_seconds"),
                               cache_version=meta.get("cache_version"),
                               op="hit")
-        else:
-            _touch(path)
         return artifact
 
     def put(self, name, spec, artifact):
@@ -656,18 +748,3 @@ class FigureArtifactCache:
                           last_access=meta["created"], hits=0,
                           cache_version=CACHE_VERSION)
         return True
-
-    def _rewrite_pickle(self, path, wrapper):
-        """Atomic hit-count rewrite; see :meth:`ResultCache._rewrite_json`."""
-        blob = pickle.dumps(wrapper)
-        try:
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            finally:
-                _remove_quietly(tmp)
-        except OSError:
-            _touch(path)
-        return len(blob)

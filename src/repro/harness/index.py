@@ -10,9 +10,15 @@ blobs.
 The index is **advisory and rebuildable, never authoritative**. Every
 fact it holds is also carried in the blob payloads themselves (the
 ``meta`` block :mod:`repro.harness.cache` writes into result JSON and
-figure pickles), so deleting ``index.sqlite`` loses nothing —
-``repro cache reindex`` (:meth:`ResultCache.reindex`) reconstructs it,
-hit counts and sim costs included. Writes are therefore best-effort:
+figure pickles), so ``repro cache reindex``
+(:meth:`~repro.harness.cache.ResultCache.reindex`) reconstructs it from
+the blobs alone. One nuance: a warm hit bumps only the index (an atomic
+SQL ``hits = hits + 1`` via :meth:`CacheIndex.bump_hit`; the blob stays
+read-only on the hot path), and the accumulated counts are folded back
+into the blobs' ``meta`` blocks lazily by
+:meth:`~repro.harness.cache.ResultCache.sync_hits` — ``prune`` and
+``reindex`` run the fold first — so deleting ``index.sqlite`` loses at
+most the hits taken since the last fold. Writes are best-effort:
 any ``sqlite3`` error is swallowed, counted on
 ``repro_cache_index_errors_total``, and the caller proceeds; a broken
 index must never fail a cache store or a warm hit.
@@ -174,6 +180,32 @@ class CacheIndex:
         self._write(op, _UPSERT,
                     (key, kind, spec_json, int(nbytes), created,
                      last_access, int(hits), sim_cost, cache_version))
+
+    def bump_hit(self, key, last_access):
+        """Increment *key*'s hit count in place — the warm-hit hot path.
+
+        The increment happens in SQL (``hits = hits + 1``), so
+        concurrent hits across threads *and* processes serialize inside
+        SQLite instead of racing a read-modify-write; the blob itself is
+        never rewritten (see :meth:`ResultCache.sync_hits` for the lazy
+        fold-back). Returns False when the row is missing or the index
+        is unusable, so the caller can fall back to a full
+        :meth:`record` upsert from the blob's own ``meta`` block.
+        """
+        with self._lock:
+            try:
+                conn = self._connection()
+                cursor = conn.execute(
+                    "UPDATE entries SET hits = hits + 1, last_access = ? "
+                    "WHERE key = ?", (last_access, key))
+                conn.commit()
+            except sqlite3.Error:
+                _ERRORS.inc()
+                return False
+        if cursor.rowcount <= 0:
+            return False
+        _OPS.inc(op="hit")
+        return True
 
     def remove(self, keys):
         """Drop the rows for *keys* (evicted or cleared blobs)."""

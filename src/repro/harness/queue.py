@@ -59,7 +59,8 @@ from ..errors import QueueClosedError, QueueFullError
 from .cache import point_key
 from .metrics import REGISTRY
 from .sweep import PointFailure
-from .task import PRIORITY_NORMAL, Task, priority_label
+from .task import (PRIORITY_NORMAL, Task, metric_priority_label,
+                   priority_label)
 
 __all__ = ["MissTask", "RequestScheduler"]
 
@@ -146,7 +147,9 @@ class RequestScheduler:
         absolute ``time.monotonic()`` timestamp or None. A submission
         whose deadline has already passed is shed immediately — the
         returned task is already resolved to a ``DeadlineExceededError``
-        :class:`~repro.harness.sweep.PointFailure` and never queues.
+        :class:`~repro.harness.sweep.PointFailure` and never queues, nor
+        joins an in-flight task (one caller's spent budget must not fail
+        other waiters on the same key).
 
         Raises :class:`~repro.errors.QueueFullError` when *max_pending*
         tasks are already queued and
@@ -154,21 +157,24 @@ class RequestScheduler:
         draining — both well-formed-but-unservable (HTTP 503).
         """
         key = point_key(point)
-        now = time.monotonic()
         with self._cond:
             if self._closed:
                 self.rejected += 1
                 _REJECTED.inc(reason="closed")
                 raise QueueClosedError(
                     "the miss scheduler is shutting down")
+            # Expiry is checked before the dedup join: an already-spent
+            # deadline is shed individually and must never tighten a
+            # shared task's deadline into the past (which would fail
+            # every earlier waiter on the same key).
+            if deadline is not None and time.monotonic() >= deadline:
+                return self._shed_new_locked(key, point, priority, deadline,
+                                             provenance,
+                                             reason="expired-on-submit")
             task = self._by_key.get(key)
             if task is not None:
                 self._join_locked(task, priority, deadline)
                 return task
-            if deadline is not None and now >= deadline:
-                return self._shed_new_locked(key, point, priority, deadline,
-                                             provenance,
-                                             reason="expired-on-submit")
             if self._queued >= self.max_pending:
                 self.rejected += 1
                 _REJECTED.inc(reason="full")
@@ -186,15 +192,17 @@ class RequestScheduler:
         request cannot interleave into the middle of this one); returns
         one task per point, deduplicated like :meth:`submit`. The whole
         batch shares one priority/deadline/provenance; an expired
-        deadline sheds every non-joined point without queueing any."""
-        now = time.monotonic()
+        deadline sheds every point individually without queueing any —
+        and without joining in-flight tasks, whose waiters must not
+        inherit the spent deadline."""
         with self._cond:
             if self._closed:
                 self.rejected += 1
                 _REJECTED.inc(reason="closed")
                 raise QueueClosedError(
                     "the miss scheduler is shutting down")
-            expired = deadline is not None and now >= deadline
+            expired = deadline is not None \
+                and time.monotonic() >= deadline
             # Plan first, mutate nothing: a rejected batch must leave
             # every counter (and other requests' live tasks) untouched.
             plan = []                   # (key, point, existing-or-None)
@@ -218,7 +226,7 @@ class RequestScheduler:
             tasks = []
             fresh = {}                  # key -> task created in this batch
             for key, point, existing in plan:
-                if existing is not None:
+                if existing is not None and not expired:
                     self._join_locked(existing, priority, deadline)
                     tasks.append(existing)
                     continue
@@ -250,16 +258,23 @@ class RequestScheduler:
         self._by_key[key] = task
         self.submitted += 1
         _SUBMITTED.inc()
-        _DEPTH.inc(priority=priority_label(priority))
+        _DEPTH.inc(priority=metric_priority_label(priority))
         return task
 
     def _join_locked(self, task, priority, deadline):
-        """Join *task*, adopting the tightest deadline / highest priority."""
+        """Join *task*, adopting the tightest deadline / highest priority.
+
+        A deadline that has already passed is never adopted (the submit
+        paths shed expired work before joining, so this is a local
+        restatement of the same invariant): tightening a shared task's
+        deadline into the past would spuriously fail every other waiter.
+        """
         task.joins += 1
         self.dedup_joins += 1
         _DEDUP_JOINS.inc()
         if deadline is not None and (task.deadline is None
-                                     or deadline < task.deadline):
+                                     or deadline < task.deadline) \
+                and deadline > time.monotonic():
             task.deadline = deadline
         if priority < task.priority and not task.started:
             # Upgrade in place: lazily invalidate the old heap entry and
@@ -271,8 +286,8 @@ class RequestScheduler:
             task.priority = priority
             task.entry = [priority, task.seq, task]
             heapq.heappush(self._heap, task.entry)
-            _DEPTH.dec(priority=priority_label(old))
-            _DEPTH.inc(priority=priority_label(priority))
+            _DEPTH.dec(priority=metric_priority_label(old))
+            _DEPTH.inc(priority=metric_priority_label(priority))
             self._cond.notify()
 
     def _shed_new_locked(self, key, point, priority, deadline, provenance,
@@ -318,7 +333,7 @@ class RequestScheduler:
                     task = entry[2]      # None == stale (upgraded) entry
                 self._queued -= 1
                 task.entry = None
-                _DEPTH.dec(priority=priority_label(task.priority))
+                _DEPTH.dec(priority=metric_priority_label(task.priority))
                 if task.expired():
                     self._by_key.pop(task.key, None)
                     self._resolve_shed_locked(task, "expired-in-queue")
@@ -402,7 +417,7 @@ class RequestScheduler:
                     self.completed += 1
                     self.failed += 1
                     _COMPLETED.inc(outcome="failed")
-                    _DEPTH.dec(priority=priority_label(task.priority))
+                    _DEPTH.dec(priority=metric_priority_label(task.priority))
                     task.result = PointFailure(
                         task.point, "QueueClosedError",
                         "service shut down before this point ran")

@@ -268,11 +268,15 @@ def _failure_payload(failure):
 
 def _timeout_payload(describe, timeout):
     """Structured 504 body for a bounded miss wait that ran out; the
-    simulation keeps running, so a retry picks up the cached result."""
+    simulation keeps running, so a retry picks up the cached result.
+    *timeout* is the wait that actually expired — the tighter of the
+    request deadline and ``--request-timeout`` — or None (defensive:
+    an unbounded wait should never time out)."""
+    waited = "its wait budget" if timeout is None else "%.3fs" % timeout
     return {"status": "error",
             "error": "TimeoutError",
-            "message": "%s not done within %.3fs; work continues toward "
-                       "the cache — retry" % (describe, timeout),
+            "message": "%s not done within %s; work continues toward "
+                       "the cache — retry" % (describe, waited),
             "retry": True}
 
 
@@ -612,9 +616,12 @@ class QueryService:
                 try:
                     results[index] = self.scheduler.result(task, timeout)
                 except TimeoutError:
+                    # Report the wait that actually expired, not
+                    # request_timeout: the request deadline may have been
+                    # the tighter bound, and with --request-timeout 0 the
+                    # budget is None entirely.
                     return (_timeout_payload(
-                        "sweep (%d points)" % len(points),
-                        self.request_timeout), 504)
+                        "sweep (%d points)" % len(points), timeout), 504)
             for index in miss_indices:
                 result = results[index]
                 if not isinstance(result, PointFailure):

@@ -26,8 +26,10 @@ import threading
 import time
 
 __all__ = [
+    "METRIC_PRIORITY_OTHER",
     "PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW", "PRIORITY_NAMES",
-    "Provenance", "Task", "parse_priority", "priority_label",
+    "Provenance", "Task", "metric_priority_label", "parse_priority",
+    "priority_label",
 ]
 
 PRIORITY_HIGH = 0
@@ -75,9 +77,29 @@ def parse_priority(raw):
 
 
 def priority_label(priority):
-    """Human/metric label for a priority class (``high|normal|low`` or
-    the bare int for unnamed classes)."""
+    """Human-facing label for a priority class (``high|normal|low`` or
+    the bare int for unnamed classes). For metric labels use
+    :func:`metric_priority_label` instead — this one's vocabulary is
+    unbounded."""
     return _PRIORITY_LABELS.get(priority, str(priority))
+
+
+#: Metric label bucketing every unnamed priority class.
+METRIC_PRIORITY_OTHER = "other"
+
+
+def metric_priority_label(priority):
+    """Bounded-cardinality label for metric series (``high|normal|low``
+    or ``other``). Priority ints arrive from client-supplied headers, so
+    labeling metrics with :func:`priority_label` would let external
+    callers mint unbounded label values and grow the metrics registry
+    without bound; every unnamed class buckets under
+    :data:`METRIC_PRIORITY_OTHER` instead.
+
+    >>> metric_priority_label(0), metric_priority_label(999999)
+    ('high', 'other')
+    """
+    return _PRIORITY_LABELS.get(priority, METRIC_PRIORITY_OTHER)
 
 
 class Provenance:

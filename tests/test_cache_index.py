@@ -6,7 +6,10 @@ metadata the blobs themselves carry — hit counts, measured sim costs,
 creation times — so deleting ``index.sqlite`` and running
 ``repro cache reindex`` reconstructs an equivalent index; and the index
 feeds the introspection (``top``/``stats``) and cost-aware eviction
-surfaces without ever being load-bearing for correctness.
+surfaces without ever being load-bearing for correctness. The warm hit
+path stays read-only on the blob (hits bump atomically in the index);
+``sync_hits`` — run implicitly by ``prune``/``reindex`` — folds the
+accumulated counts back into the blobs' ``meta`` blocks.
 """
 
 import json
@@ -73,16 +76,48 @@ class TestWriteThrough:
             assert row["cache_version"] == cache_mod.CACHE_VERSION
             assert row["spec"]["benchmark"] in ("BFS", "SSSP")
 
-    def test_hit_bumps_blob_meta_and_index(self, tmp_path):
+    def test_hit_bumps_index_only_then_sync_folds_into_blob(self, tmp_path):
+        """The hot path is read-only on the blob: hits accumulate in the
+        index (atomic SQL increment) and sync_hits() folds them into the
+        blob's meta block lazily."""
         cache = _filled_cache(tmp_path)
         point = POINTS[0]
         key = point_key(point)
+        path = os.path.join(cache.cache_dir, key + ".json")
+        before = open(path).read()
         cache.get(point)
         cache.get(point)
-        with open(os.path.join(cache.cache_dir, key + ".json")) as handle:
+        assert cache.index.get(key)["hits"] == 2
+        assert open(path).read() == before          # blob untouched
+        assert cache.sync_hits() == 1
+        with open(path) as handle:
             payload = json.load(handle)
         assert payload["meta"]["hits"] == 2
         assert cache.index.get(key)["hits"] == 2
+        assert cache.sync_hits() == 0               # idempotent
+
+    def test_prune_folds_hits_before_evicting(self, tmp_path):
+        """A real prune makes accumulated hit counts durable in the
+        surviving blobs (the documented fold point)."""
+        cache = _filled_cache(tmp_path)
+        key = point_key(POINTS[0])
+        cache.get(POINTS[0])
+        cache.prune()                               # no limits: fold only
+        with open(os.path.join(cache.cache_dir, key + ".json")) as handle:
+            assert json.load(handle)["meta"]["hits"] == 1
+        assert len(cache) == len(POINTS)
+
+    def test_hit_resurrects_missing_index_row(self, tmp_path):
+        """bump_hit falls back to a full record when the row is gone
+        (e.g. a fresh index), rebuilding it from the blob's meta."""
+        cache = _filled_cache(tmp_path)
+        cache.get(POINTS[0])
+        cache.sync_hits()
+        cache.index.clear()
+        assert cache.get(POINTS[0]) is not None
+        row = cache.index.get(point_key(POINTS[0]))
+        assert row["hits"] == 2                     # blob's 1 + this hit
+        assert row["sim_cost_seconds"] is not None
 
     def test_direct_put_records_supplied_cost(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
@@ -117,12 +152,15 @@ class TestWriteThrough:
 
 class TestRebuild:
     def test_reindex_recovers_hits_and_costs_from_blobs(self, tmp_path):
-        """The acceptance scenario: delete index.sqlite, rebuild from the
-        blobs, and the hit counts / sim costs match the live index."""
+        """The acceptance scenario: after a fold (sync_hits — prune and
+        reindex run it implicitly), delete index.sqlite, rebuild from
+        the blobs, and the hit counts / sim costs match the live
+        index."""
         cache = _filled_cache(tmp_path)
         cache.get(POINTS[0])
         cache.get(POINTS[0])
         cache.get(POINTS[1])
+        assert cache.sync_hits() == 2
         want = {row["key"]: row for row in cache.index.entries()}
         _delete_index_files(cache)
 
@@ -143,6 +181,7 @@ class TestRebuild:
         figures = FigureArtifactCache(root)
         figures.put("fig9", {"scale": "0.25"}, {"rows": []})
         figures.get("fig9", {"scale": "0.25"})
+        assert cache.sync_hits() == 1       # folds the figure blob too
         _delete_index_files(cache)
         rebuilt = ResultCache(root)
         assert rebuilt.reindex() == 1

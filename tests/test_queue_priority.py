@@ -13,10 +13,12 @@ import time
 
 import pytest
 
+from repro.harness.metrics import REGISTRY
 from repro.harness.queue import RequestScheduler
 from repro.harness.sweep import PointFailure, SweepPoint
 from repro.harness.task import (PRIORITY_HIGH, PRIORITY_LOW,
-                                PRIORITY_NORMAL, Provenance, parse_priority,
+                                PRIORITY_NORMAL, Provenance,
+                                metric_priority_label, parse_priority,
                                 priority_label)
 from repro.harness.variants import TuningParams
 
@@ -79,6 +81,34 @@ class TestParsePriority:
         assert priority_label(PRIORITY_NORMAL) == "normal"
         assert priority_label(PRIORITY_LOW) == "low"
         assert priority_label(7) == "7"
+
+    def test_metric_label_buckets_unnamed_classes(self):
+        """Client-supplied ints must not mint unbounded metric labels:
+        every unnamed class buckets under 'other' in the registry."""
+        assert metric_priority_label(PRIORITY_HIGH) == "high"
+        assert metric_priority_label(PRIORITY_NORMAL) == "normal"
+        assert metric_priority_label(PRIORITY_LOW) == "low"
+        assert metric_priority_label(7) == "other"
+        assert metric_priority_label(999999) == "other"
+
+    def test_unnamed_priority_never_reaches_the_depth_gauge(self):
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            queued = scheduler.submit(make_point(4), priority=314159)
+            text = REGISTRY.render()
+            assert 'repro_queue_depth{priority="other"} 1' in text
+            assert "314159" not in text
+            # /cache/info introspection keeps the exact class.
+            assert scheduler.stats_dict()["by_priority"] == {"314159": 1}
+            executor.gate.set()
+            scheduler.result(blocker, timeout=30)
+            scheduler.result(queued, timeout=30)
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
 
 
 class TestPriorityOrdering:
@@ -309,6 +339,62 @@ class TestShedding:
             assert executor.ran == []
             assert scheduler.shed == 4
         finally:
+            close_quietly(scheduler)
+
+    def test_expired_submit_never_joins_or_poisons_existing_task(self):
+        """Regression: an already-expired submission used to dedup-join
+        the queued task for its key and tighten the shared deadline into
+        the past, so every earlier waiter — even ones that submitted
+        with no deadline at all — got a spurious DeadlineExceededError.
+        It must shed individually instead."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            waiter = scheduler.submit(make_point(4))    # queued, no deadline
+            shed = scheduler.submit(make_point(4),
+                                    deadline=time.monotonic() - 0.01)
+            assert shed is not waiter                   # no join happened
+            assert shed.event.is_set()
+            assert waiter.deadline is None              # not poisoned
+            assert waiter.joins == 0
+            result = scheduler.result(shed, timeout=1)
+            assert isinstance(result, PointFailure)
+            assert result.error == "DeadlineExceededError"
+            executor.gate.set()
+            assert scheduler.result(waiter, timeout=30) == ("result", 4)
+            scheduler.result(blocker, timeout=30)
+            assert scheduler.shed == 1
+        finally:
+            executor.gate.set()
+            close_quietly(scheduler)
+
+    def test_expired_batch_never_joins_inflight_tasks(self):
+        """submit_all with a spent deadline sheds every point — including
+        ones whose key has a queued/running task — without touching the
+        in-flight tasks' deadlines."""
+        executor = GatedExecutor()
+        scheduler = RequestScheduler([executor], max_pending=16)
+        try:
+            blocker = scheduler.submit(make_point(2))
+            assert executor.entered.wait(30)
+            waiter = scheduler.submit(make_point(4))
+            tasks = scheduler.submit_all(
+                [make_point(4), make_point(8)],
+                deadline=time.monotonic() - 0.01)
+            assert waiter not in tasks
+            assert waiter.deadline is None
+            for task in tasks:
+                result = scheduler.result(task, timeout=1)
+                assert isinstance(result, PointFailure)
+                assert result.error == "DeadlineExceededError"
+            executor.gate.set()
+            assert scheduler.result(waiter, timeout=30) == ("result", 4)
+            scheduler.result(blocker, timeout=30)
+            assert scheduler.shed == 2
+        finally:
+            executor.gate.set()
             close_quietly(scheduler)
 
     def test_shed_task_does_not_block_its_key(self):

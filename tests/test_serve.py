@@ -766,6 +766,46 @@ class TestPriorityAndDeadline:
             gate.set()
             srv.close()
 
+    def test_sweep_deadline_timeout_without_request_timeout(
+            self, tmp_path, monkeypatch):
+        """Regression: with --request-timeout 0 (unbounded budget) a
+        deadline-bounded /sweep wait that expires mid-simulation must
+        answer the structured 504 retry payload — it used to format None
+        ('%.3f' % None → TypeError) and fall through to a generic 500.
+        The payload must also report the wait that actually expired (the
+        deadline), never the request-timeout budget."""
+        entered, gate = threading.Event(), threading.Event()
+        real = sweep_mod._simulate_point
+
+        def slow(point):
+            entered.set()
+            assert gate.wait(30), "test gate never opened"
+            return real(point)
+
+        monkeypatch.setattr(sweep_mod, "_simulate_point", slow)
+        srv = ServeServer(cache_dir=str(tmp_path / "cache"),
+                          miss_workers=1, request_timeout=0)
+        srv.start()
+        try:
+            status, payload = fetch(srv, "/sweep", data={
+                "pairs": ["BFS:KRON"], "variants": ["CDP+T"],
+                "params": {"threshold": 16}, "scale": float(SCALE),
+                "deadline_ms": 1000})
+            assert status == 504
+            assert payload["error"] == "TimeoutError"
+            assert payload["retry"] is True
+            assert "not done within" in payload["message"]
+        finally:
+            gate.set()
+            srv.close()
+
+    def test_timeout_payload_guards_unbounded_wait(self):
+        from repro.harness.serve import _timeout_payload
+        payload = _timeout_payload("sweep (3 points)", None)
+        assert payload["error"] == "TimeoutError"
+        assert payload["retry"] is True
+        assert "sweep (3 points)" in payload["message"]
+
     def test_sweep_all_misses_shed_is_504(self, server, monkeypatch):
         monkeypatch.setattr(sweep_mod, "_simulate_point", banned)
         status, payload = fetch(server, "/sweep", data={
