@@ -1,0 +1,391 @@
+"""Open-loop serving load benchmark: the ``BENCH_load.json`` artifact.
+
+Drives a live in-process ``repro serve`` (quotas enabled) with an
+**open-loop** Poisson workload: each synthetic client fires requests at
+its offered RPS on exponential inter-arrival gaps, regardless of how
+fast the server answers — the arrival process never slows down to match
+service capacity, which is what makes overload behaviour (429/503)
+observable at all. A closed loop (request, wait, repeat) can never
+offer more load than the server absorbs.
+
+Synthetic tenants (distinct ``X-Repro-Client`` identities with distinct
+quotas and priorities):
+
+* ``steady`` — a well-behaved interactive tenant: generous quota,
+  normal priority, traffic drawn from a prewarmed **hot** pool plus a
+  small **warm** pool (cold on first touch, cached after);
+* ``greedy`` — a tenant offering far more *cold* (simulating) traffic
+  than its tight token bucket admits: low priority, drawn from a small
+  cold pool (so concurrent arrivals also exercise dedup joins).
+
+The artifact records p50/p95/p99 per traffic class per client, achieved
+vs offered RPS, 429/503/504 counts, the dedup ratio, and a set of
+**conservation self-checks** — every issued request is accounted for by
+exactly one status; after drain the scheduler's ``submitted`` equals
+``completed`` (nothing used deadlines, so ``shed`` must be 0); the
+quota layer's in-flight gauges return to zero (no leaked leases) — plus
+the **quota-isolation proof**: the greedy tenant collects 429s (with a
+``Retry-After`` header) while the steady tenant sees zero 429s and a
+warm p50 within a generous multiple of its unloaded baseline.
+
+Standalone on purpose (stdlib only), same contract as
+``bench_serve.py``: CI's ``bench-trend`` job runs it at a small pinned
+RPS and uploads the artifact per commit.
+
+    PYTHONPATH=src python benchmarks/bench_load.py --out BENCH_load.json
+
+Exit status is non-zero when any self-check fails — a lying benchmark
+is worse than none.
+"""
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+#: Pinned workload knobs — changing them breaks trend comparability
+#: (bump ``schema`` if you must). Scale 0.02 keeps one cold simulation
+#: well under a second so CI finishes in seconds, not minutes.
+SCALE = 0.02
+HOT_THRESHOLDS = (16, 32, 64)           # prewarmed before the run
+WARM_THRESHOLDS = (128, 256)            # cold on first touch, then cached
+COLD_THRESHOLDS = (300, 301, 302, 303, 304, 305)    # greedy's pool
+BASELINE_SAMPLES = 15
+
+#: The steady tenant must stay within this factor of its unloaded warm
+#: p50 while the greedy tenant is being throttled next to it. Generous
+#: on purpose: shared CI runners jitter, and the claim under test is
+#: "not starved", not "zero interference".
+ISOLATION_FACTOR = 20.0
+ISOLATION_FLOOR_SECONDS = 0.25
+
+
+def point_path(threshold):
+    return ("/point?benchmark=BFS&dataset=KRON&label=CDP%%2BT"
+            "&threshold=%d&scale=%s" % (threshold, SCALE))
+
+
+def request(address, path, headers=None, timeout=300):
+    """(status, headers, payload) treating HTTP errors as data — the
+    whole point of this benchmark is counting the 4xx/5xx."""
+    url = "http://%s:%d%s" % (*address, path)
+    try:
+        with urllib.request.urlopen(
+                urllib.request.Request(url, headers=headers or {}),
+                timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class ClientLoad:
+    """One synthetic tenant: an arrival thread firing each request on
+    its own thread (open loop), recording (class, status, latency,
+    Retry-After presence) per request."""
+
+    def __init__(self, name, address, rps, duration, choose, headers,
+                 seed):
+        self.name = name
+        self.address = address
+        self.rps = float(rps)
+        self.duration = float(duration)
+        self.choose = choose            # rng -> (traffic_class, path)
+        self.headers = dict(headers)
+        self.rng = random.Random(seed)
+        self.records = []
+        self._lock = threading.Lock()
+        self._threads = []
+
+    def _fire(self, traffic_class, path):
+        started = time.perf_counter()
+        status, headers, _payload = request(self.address, path,
+                                            headers=self.headers)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.records.append(
+                {"class": traffic_class, "status": status,
+                 "seconds": elapsed,
+                 "retry_after": headers.get("Retry-After")})
+
+    def run(self):
+        """Open loop: sleep exponential gaps, fire-and-forget. Returns
+        once the offered window closes; join() collects stragglers."""
+        deadline = time.monotonic() + self.duration
+        while True:
+            gap = self.rng.expovariate(self.rps)
+            now = time.monotonic()
+            if now + gap >= deadline:
+                break
+            time.sleep(gap)
+            traffic_class, path = self.choose(self.rng)
+            thread = threading.Thread(target=self._fire,
+                                      args=(traffic_class, path),
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def join(self, timeout=120):
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    # -- reductions -----------------------------------------------------------
+
+    def issued(self):
+        return len(self._threads)
+
+    def by_status(self):
+        counts = {}
+        for record in self.records:
+            key = str(record["status"])
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def latency_percentiles(self):
+        """{traffic_class: {p50, p95, p99, samples}} over 200s only —
+        a 429 answers in microseconds and would flatter the tail."""
+        out = {}
+        for traffic_class in sorted({r["class"] for r in self.records}):
+            samples = sorted(r["seconds"] for r in self.records
+                             if r["class"] == traffic_class
+                             and r["status"] == 200)
+            if not samples:
+                out[traffic_class] = {"samples": 0}
+                continue
+            out[traffic_class] = {
+                "p50": round(percentile(samples, 50), 6),
+                "p95": round(percentile(samples, 95), 6),
+                "p99": round(percentile(samples, 99), 6),
+                "samples": len(samples)}
+        return out
+
+
+def percentile(sorted_samples, pct):
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = (pct / 100.0) * (len(sorted_samples) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_samples) - 1)
+    return sorted_samples[low] + (sorted_samples[high] - sorted_samples[low]) \
+        * (rank - low)
+
+
+def check(condition, message, failures):
+    if not condition:
+        failures.append(message)
+        print("FAIL: %s" % message, file=sys.stderr)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_load.json",
+                        help="artifact path (default BENCH_load.json)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        metavar="SECONDS",
+                        help="offered-load window per client (default 6)")
+    parser.add_argument("--steady-rps", type=float, default=8.0,
+                        help="steady tenant offered RPS (default 8)")
+    parser.add_argument("--greedy-rps", type=float, default=10.0,
+                        help="greedy tenant offered RPS (default 10; its "
+                             "quota admits ~1/s, so most of this 429s)")
+    parser.add_argument("--miss-workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=20220402,
+                        help="arrival-process RNG seed (default pinned)")
+    args = parser.parse_args(argv)
+
+    from repro import __version__
+    from repro.harness.cache import CACHE_VERSION
+    from repro.harness.quota import ClientQuota, QuotaManager
+    from repro.harness.serve import ServeServer
+
+    failures = []
+    quota = QuotaManager(
+        default=ClientQuota(rate=2.0, burst=4),
+        overrides={"steady": ClientQuota(rate=50.0, burst=100),
+                   "greedy": ClientQuota(rate=1.0, burst=2,
+                                         max_inflight=2)},
+        known=("steady", "greedy"))
+    with tempfile.TemporaryDirectory(prefix="bench-load-") as cache_dir:
+        server = ServeServer(cache_dir=cache_dir,
+                             miss_workers=args.miss_workers,
+                             quota=quota)
+        address = server.start()
+        try:
+            # Prewarm the hot pool (steady's bread and butter) as an
+            # unthrottled anonymous client, then measure the steady
+            # tenant's *unloaded* warm p50 as the isolation baseline.
+            for threshold in HOT_THRESHOLDS:
+                status, _, _ = request(address, point_path(threshold))
+                check(status == 200,
+                      "prewarm of threshold=%d got %d" % (threshold, status),
+                      failures)
+            baseline = []
+            for index in range(BASELINE_SAMPLES):
+                threshold = HOT_THRESHOLDS[index % len(HOT_THRESHOLDS)]
+                started = time.perf_counter()
+                status, _, payload = request(
+                    address, point_path(threshold),
+                    headers={"X-Repro-Client": "steady"})
+                baseline.append(time.perf_counter() - started)
+                check(status == 200 and payload.get("cache") == "hit",
+                      "baseline probe was not a warm hit", failures)
+            baseline_p50 = statistics.median(baseline)
+
+            def choose_steady(rng):
+                if rng.random() < 0.8:
+                    threshold = rng.choice(HOT_THRESHOLDS)
+                    return "hot", point_path(threshold)
+                return "warm", point_path(rng.choice(WARM_THRESHOLDS))
+
+            def choose_greedy(rng):
+                return "cold", point_path(rng.choice(COLD_THRESHOLDS))
+
+            clients = [
+                ClientLoad("steady", address, args.steady_rps,
+                           args.duration, choose_steady,
+                           {"X-Repro-Client": "steady"}, args.seed),
+                ClientLoad("greedy", address, args.greedy_rps,
+                           args.duration, choose_greedy,
+                           {"X-Repro-Client": "greedy",
+                            "X-Repro-Priority": "low"}, args.seed + 1),
+            ]
+            info_before = request(address, "/cache/info")[2]
+            wall_started = time.perf_counter()
+            arrival_threads = [threading.Thread(target=client.run)
+                               for client in clients]
+            for thread in arrival_threads:
+                thread.start()
+            for thread in arrival_threads:
+                thread.join()
+            for client in clients:
+                client.join()
+            wall_seconds = time.perf_counter() - wall_started
+            info_after = request(address, "/cache/info")[2]
+        finally:
+            server.close(drain=True)
+
+    # -- conservation self-checks ---------------------------------------------
+    # (1) Client-side: every issued request resolved to exactly one
+    # recorded status — the open loop leaks nothing.
+    for client in clients:
+        check(client.issued() == len(client.records)
+              == sum(client.by_status().values()),
+              "%s: issued %d != recorded %d"
+              % (client.name, client.issued(), len(client.records)),
+              failures)
+    # (2) Scheduler-side, after drain: everything submitted completed.
+    # No request carried a deadline, so nothing may have been shed;
+    # rejected (429/503) work never reaches the queue's counters.
+    queue = info_after["queue"]
+    check(queue["submitted"] == queue["completed"],
+          "queue conservation: submitted %d != completed %d"
+          % (queue["submitted"], queue["completed"]), failures)
+    check(queue["shed"] == 0 and queue["depth"] == 0
+          and queue["inflight"] == 0,
+          "queue not clean after drain: %r" % (queue,), failures)
+    # (3) Quota-side: every lease released — in-flight gauges at zero.
+    quota_stats = info_after.get("quota") or {}
+    for name, entry in (quota_stats.get("clients") or {}).items():
+        check(entry["inflight"] == 0,
+              "quota leak: client %s still holds %d in-flight"
+              % (name, entry["inflight"]), failures)
+
+    # -- quota-isolation proof --------------------------------------------
+    steady, greedy = clients
+    steady_statuses = steady.by_status()
+    greedy_statuses = greedy.by_status()
+    check(steady_statuses.get("429", 0) == 0,
+          "steady tenant was throttled: %r" % (steady_statuses,), failures)
+    check(greedy_statuses.get("429", 0) >= 1,
+          "greedy tenant was never throttled: %r" % (greedy_statuses,),
+          failures)
+    throttled = [r for r in greedy.records if r["status"] == 429]
+    check(all(r["retry_after"] is not None for r in throttled),
+          "a 429 arrived without a Retry-After header", failures)
+    steady_latency = steady.latency_percentiles()
+    hot_p50 = steady_latency.get("hot", {}).get("p50")
+    check(hot_p50 is not None and hot_p50 <= max(
+              ISOLATION_FACTOR * baseline_p50, ISOLATION_FLOOR_SECONDS),
+          "steady warm p50 %r vs unloaded baseline %.6f: tenant starved"
+          % (hot_p50, baseline_p50), failures)
+
+    submitted_delta = queue["submitted"] \
+        - info_before["queue"]["submitted"]
+    joins_delta = queue["dedup_joins"] - info_before["queue"]["dedup_joins"]
+    dedup_ratio = round(joins_delta / submitted_delta, 4) \
+        if submitted_delta else 0.0
+
+    artifact = {
+        "schema": 1,
+        "versions": {"code": __version__, "cache": CACHE_VERSION},
+        "workload": {
+            "duration_seconds": args.duration,
+            "seed": args.seed,
+            "scale": SCALE,
+            "miss_workers": args.miss_workers,
+            "clients": {
+                client.name: {
+                    "offered_rps": client.rps,
+                    "quota": quota.quota_for(client.name).to_dict()}
+                for client in clients}},
+        "wall_seconds": round(wall_seconds, 3),
+        "clients": {
+            client.name: {
+                "issued": client.issued(),
+                "offered_rps": client.rps,
+                "achieved_rps": round(client.issued()
+                                      / max(wall_seconds, 1e-9), 3),
+                "by_status": client.by_status(),
+                "latency_seconds": client.latency_percentiles()}
+            for client in clients},
+        "errors": {
+            "429": sum(c.by_status().get("429", 0) for c in clients),
+            "503": sum(c.by_status().get("503", 0) for c in clients),
+            "504": sum(c.by_status().get("504", 0) for c in clients)},
+        "dedup": {"submitted": submitted_delta,
+                  "dedup_joins": joins_delta,
+                  "ratio": dedup_ratio},
+        "isolation": {
+            "baseline_warm_p50": round(baseline_p50, 6),
+            "loaded_hot_p50": hot_p50,
+            "factor_allowed": ISOLATION_FACTOR,
+            "steady_429": steady_statuses.get("429", 0),
+            "greedy_429": greedy_statuses.get("429", 0)},
+        "conservation": {
+            "issued_equals_recorded": all(
+                c.issued() == len(c.records) for c in clients),
+            "submitted_equals_completed":
+                queue["submitted"] == queue["completed"],
+            "quota_inflight_zero": not failures or all(
+                "quota leak" not in f for f in failures)},
+        "counters": {"queue": queue,
+                     "quota": quota_stats,
+                     "executor": info_after["executor"]},
+        "failures": failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+    for client in clients:
+        print("%-7s offered %.1f rps, achieved %.1f rps, statuses %s"
+              % (client.name, client.rps,
+                 artifact["clients"][client.name]["achieved_rps"],
+                 artifact["clients"][client.name]["by_status"]))
+    print("dedup ratio %.3f (%d joins / %d submitted)   429=%d 503=%d "
+          "504=%d" % (dedup_ratio, joins_delta, submitted_delta,
+                      artifact["errors"]["429"], artifact["errors"]["503"],
+                      artifact["errors"]["504"]))
+    print("isolation: steady hot p50 %s vs baseline %.4fs (greedy 429s: %d)"
+          % (hot_p50, baseline_p50, greedy_statuses.get("429", 0)))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

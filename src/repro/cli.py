@@ -374,9 +374,30 @@ def cmd_worker(args):
 def cmd_serve(args):
     import signal
 
+    from .harness.quota import (ApiKeyAuth, ClientQuota, QuotaManager,
+                                load_api_keys)
     from .harness.serve import ServeServer
 
     cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        auth = None
+        overrides = {}
+        known = ()
+        if args.api_keys_file:
+            auth = ApiKeyAuth(load_api_keys(args.api_keys_file))
+            overrides = auth.quota_overrides()
+            known = auth.clients
+        quota = None
+        if (args.quota_rps is not None or args.quota_burst is not None
+                or args.quota_max_inflight is not None or overrides):
+            quota = QuotaManager(
+                default=ClientQuota(rate=args.quota_rps,
+                                    burst=args.quota_burst,
+                                    max_inflight=args.quota_max_inflight),
+                overrides=overrides, known=known)
+    except ReproError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     try:
         server = ServeServer(host=args.host, port=args.port, quiet=False,
                              cache_dir=cache_dir, jobs=args.jobs,
@@ -384,7 +405,8 @@ def cmd_serve(args):
                              worker_timeout=args.worker_timeout,
                              miss_workers=args.miss_workers,
                              max_pending=args.max_pending,
-                             request_timeout=args.request_timeout)
+                             request_timeout=args.request_timeout,
+                             quota=quota, api_keys=auth)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -394,9 +416,11 @@ def cmd_serve(args):
         return 1
     host, port = server.address
     print("repro serve listening on http://%s:%d/ (backend=%s, cache=%s, "
-          "miss-workers=%d, max-pending=%d)"
+          "miss-workers=%d, max-pending=%d, auth=%s, quota=%s)"
           % (host, port, server.service.executor.backend.name,
-             cache_dir or "disabled", args.miss_workers, args.max_pending),
+             cache_dir or "disabled", args.miss_workers, args.max_pending,
+             "%d key(s)" % len(auth) if auth is not None else "off",
+             "on" if quota is not None else "off"),
           flush=True)
 
     def _sigterm(signum, frame):
@@ -610,6 +634,28 @@ def build_parser():
                               "past it the request 504s with retry=true "
                               "while the simulation continues toward the "
                               "cache")
+    p_serve.add_argument("--api-keys-file", metavar="PATH",
+                         help="enable API-key auth: a JSON file mapping "
+                              "key -> client name (or an object with "
+                              "client/rate/burst/max_inflight quota "
+                              "overrides); requests without a valid "
+                              "X-Repro-Api-Key get 401 (GET /healthz and "
+                              "/metrics stay open)")
+    p_serve.add_argument("--quota-rps", type=float, default=None,
+                         metavar="RPS",
+                         help="default per-client miss admission rate in "
+                              "requests/sec (token bucket; over-quota "
+                              "misses get 429 with Retry-After; warm "
+                              "cache hits are never metered)")
+    p_serve.add_argument("--quota-burst", type=float, default=None,
+                         metavar="N",
+                         help="default per-client burst capacity (bucket "
+                              "size; default 2x --quota-rps, min 1)")
+    p_serve.add_argument("--quota-max-inflight", type=int, default=None,
+                         metavar="N",
+                         help="default cap on one client's concurrent "
+                              "in-flight misses (429 past it; released "
+                              "when the miss wait ends)")
     _add_sweep_flags(p_serve, default_cache=".repro-cache")
     p_serve.set_defaults(func=cmd_serve)
 

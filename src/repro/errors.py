@@ -64,6 +64,45 @@ class ServeError(ReproError):
     """
 
 
+class PriorityError(ReproError, ValueError):
+    """A malformed wire-level priority class (unknown name, negative or
+    empty value).
+
+    Raised by :func:`repro.harness.task.parse_priority`; ``repro serve``
+    maps it to a 400 response. Subclasses ``ValueError`` too so callers
+    that treated the old bare ``ValueError`` keep working.
+    """
+
+
+class AuthError(ReproError):
+    """A request to an auth-enabled query service carried a missing or
+    unknown API key.
+
+    ``repro serve --api-keys-file`` maps it to a 401 response;
+    ``/healthz`` and ``/metrics`` stay open so probes and scrapers never
+    need credentials. See ``docs/serving.md``.
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A client exhausted its per-client quota on the serving miss path.
+
+    Carries *reason* (``"rate"`` — the token bucket is empty — or
+    ``"inflight"`` — too many concurrent in-flight misses) and
+    *retry_after*, the seconds until the bucket refills enough to admit
+    the request. ``repro serve`` maps it to a 429 response with a
+    ``Retry-After`` header and ``"retry": true`` — deliberately not a
+    :class:`QueueError`/503: the service had room, this *client* is over
+    its allocation. Warm cache hits are never metered. See
+    ``docs/serving.md``.
+    """
+
+    def __init__(self, message, reason="rate", retry_after=1.0):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 class QueueError(ReproError):
     """Base class for request-scheduler rejections.
 

@@ -17,6 +17,8 @@ from .index import CacheIndex
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       REGISTRY)
 from .queue import MissTask, RequestScheduler
+from .quota import (ApiKey, ApiKeyAuth, ClientQuota, QuotaLease,
+                    QuotaManager, load_api_keys)
 from .task import (PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL,
                    Provenance, Task, parse_priority, priority_label)
 from .remote import (RemoteBackend, RemoteError, RemoteHandshakeError,
@@ -42,6 +44,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
     "CacheIndex",
     "MissTask", "RequestScheduler",
+    "ApiKey", "ApiKeyAuth", "ClientQuota", "QuotaLease", "QuotaManager",
+    "load_api_keys",
     "PRIORITY_HIGH", "PRIORITY_LOW", "PRIORITY_NORMAL", "Provenance",
     "Task", "parse_priority", "priority_label",
     "ENDPOINTS", "QueryService", "ServeServer",

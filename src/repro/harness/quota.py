@@ -1,0 +1,415 @@
+"""Per-client admission control for the serving miss path.
+
+``repro serve`` used to have exactly one fairness knob: the global
+``--max-pending`` bound, a single 503 valve any one client could fill to
+starve everyone else. This module gives the serve tier real multi-tenant
+controls, keyed off the client identity the PR 7
+:class:`~repro.harness.task.Provenance` record already carries:
+
+* :class:`ClientQuota` — one client's allocation: a **token bucket**
+  (``rate`` requests/second refill, ``burst`` bucket capacity) plus a
+  cap on **concurrent in-flight misses** (``max_inflight``);
+* :class:`QuotaManager` — the per-client bucket map the service consults
+  *only on the miss path*: :meth:`~QuotaManager.admit` either returns a
+  :class:`QuotaLease` (release it when the miss wait ends) or raises
+  :class:`~repro.errors.QuotaExceededError` (HTTP 429 with a
+  ``Retry-After`` header). Warm cache hits are never metered and never
+  touch any quota lock;
+* :class:`ApiKeyAuth` + :func:`load_api_keys` — optional API-key
+  authentication (``repro serve --api-keys-file``): a JSON file maps
+  each key to a client name and optional per-client quota overrides;
+  lookups compare every known key with :func:`hmac.compare_digest`, so
+  the scan cost is independent of where (or whether) the presented key
+  matches.
+
+Client identity resolves, in order, to the API key's client name, the
+``X-Repro-Client`` header, then the remote address. Because the header
+is client-supplied, metric label values are bounded the same way the
+scheduler bounds priority labels: clients named in the quota overrides
+or the API-key file get their own ``client`` label, every other identity
+buckets under ``other`` (the per-client *buckets* stay exact — only the
+metric label is coarsened).
+
+Quota decisions are counted on ``repro_quota_rejections_total
+{client,reason}``; admitted traffic mirrors its bucket level onto the
+``repro_quota_tokens{client}`` gauge and its concurrency onto
+``repro_quota_inflight{client}``.
+
+>>> clock = iter([0.0, 0.0, 0.0, 0.5]).__next__
+>>> manager = QuotaManager(default=ClientQuota(rate=2, burst=1),
+...                        clock=clock)
+>>> lease = manager.admit("alice")          # burst token spent at t=0
+>>> manager.admit("alice")                  # empty bucket at t=0
+Traceback (most recent call last):
+  ...
+repro.errors.QuotaExceededError: client 'alice' is over its rate quota (2.0/s after a burst of 1); retry in 0.50s
+>>> lease.release()
+>>> manager.admit("alice") is not None      # 0.5s later: refilled
+True
+"""
+
+import hmac
+import json
+import threading
+import time
+
+from ..errors import AuthError, QuotaExceededError, ReproError
+from .metrics import REGISTRY
+
+__all__ = ["ApiKey", "ApiKeyAuth", "ClientQuota", "METRIC_CLIENT_OTHER",
+           "QuotaLease", "QuotaManager", "load_api_keys"]
+
+#: Metric label bucketing every client identity that is not explicitly
+#: configured (quota override or API-key client name): identities arrive
+#: from client-supplied headers, so labeling them verbatim would let
+#: callers mint unbounded label values (the same reasoning as
+#: :func:`~repro.harness.task.metric_priority_label`).
+METRIC_CLIENT_OTHER = "other"
+
+#: ``Retry-After`` fallback (seconds) for rejections that are not a
+#: simple bucket refill away (the in-flight cap frees up when a running
+#: miss finishes, which has no schedule).
+DEFAULT_RETRY_AFTER = 1.0
+
+_REJECTIONS = REGISTRY.counter(
+    "repro_quota_rejections_total",
+    "Miss-path admissions rejected by the per-client quota layer "
+    "(rate: token bucket empty; inflight: concurrent miss cap)",
+    ("client", "reason"))
+_TOKENS = REGISTRY.gauge(
+    "repro_quota_tokens",
+    "Token-bucket level per client after its latest admission decision",
+    ("client",))
+_INFLIGHT = REGISTRY.gauge(
+    "repro_quota_inflight",
+    "In-flight miss admissions currently leased per client", ("client",))
+
+
+class ClientQuota:
+    """One client's allocation. All fields optional: ``rate`` (tokens
+    per second) with ``burst`` (bucket capacity, default ``2 * rate``),
+    and ``max_inflight`` (concurrent in-flight misses). ``None`` means
+    unlimited on that axis; a quota with every axis ``None`` admits
+    everything."""
+
+    __slots__ = ("rate", "burst", "max_inflight")
+
+    def __init__(self, rate=None, burst=None, max_inflight=None):
+        if rate is not None and rate <= 0:
+            raise ReproError("quota rate must be > 0, not %r" % (rate,))
+        if burst is not None and burst < 1:
+            raise ReproError("quota burst must be >= 1, not %r" % (burst,))
+        if max_inflight is not None and max_inflight < 1:
+            raise ReproError("quota max_inflight must be >= 1, not %r"
+                             % (max_inflight,))
+        self.rate = None if rate is None else float(rate)
+        self.burst = (float(burst) if burst is not None
+                      else None if rate is None
+                      else max(1.0, 2.0 * float(rate)))
+        self.max_inflight = (None if max_inflight is None
+                            else int(max_inflight))
+
+    @property
+    def unlimited(self):
+        return self.rate is None and self.max_inflight is None
+
+    def merged(self, override):
+        """This quota with *override*'s non-``None`` axes applied (the
+        per-client override semantics of the API-keys file)."""
+        if override is None:
+            return self
+        return ClientQuota(
+            rate=self.rate if override.rate is None else override.rate,
+            burst=self.burst if override.burst is None else override.burst,
+            max_inflight=(self.max_inflight
+                          if override.max_inflight is None
+                          else override.max_inflight))
+
+    def to_dict(self):
+        return {"rate": self.rate, "burst": self.burst,
+                "max_inflight": self.max_inflight}
+
+    def __repr__(self):
+        return ("ClientQuota(rate=%r, burst=%r, max_inflight=%r)"
+                % (self.rate, self.burst, self.max_inflight))
+
+
+class QuotaLease:
+    """An admitted in-flight miss allocation. :meth:`release` returns the
+    in-flight slots to the client's bucket (tokens are rate, not a pool —
+    they are never returned); idempotent, so ``finally`` blocks can
+    release unconditionally."""
+
+    __slots__ = ("_bucket", "_cost", "_released")
+
+    def __init__(self, bucket, cost):
+        self._bucket = bucket
+        self._cost = cost
+        self._released = False
+
+    def release(self):
+        if self._released or self._bucket is None:
+            return
+        self._released = True
+        self._bucket.release(self._cost)
+
+
+#: The no-op lease handed out when quotas are disabled (or the client is
+#: unlimited), so callers release unconditionally.
+_FREE_LEASE = QuotaLease(None, 0)
+
+
+class _ClientBucket:
+    """One client's live state: token level, last-refill stamp, in-flight
+    count — guarded by its own lock, so one client's admission storm
+    never contends another client's hot path."""
+
+    __slots__ = ("quota", "metric_client", "tokens", "refilled_at",
+                 "inflight", "_lock", "_clock")
+
+    def __init__(self, quota, metric_client, clock):
+        self.quota = quota
+        self.metric_client = metric_client
+        self.tokens = quota.burst if quota.rate is not None else 0.0
+        self.refilled_at = clock()
+        self.inflight = 0
+        self._lock = threading.Lock()
+        self._clock = clock
+
+    def admit(self, client, cost):
+        quota = self.quota
+        with self._lock:
+            if quota.max_inflight is not None \
+                    and self.inflight + cost > quota.max_inflight:
+                _REJECTIONS.inc(client=self.metric_client,
+                                reason="inflight")
+                raise QuotaExceededError(
+                    "client %r already has %d in-flight miss(es) "
+                    "(cap %d); retry when they finish"
+                    % (client, self.inflight, quota.max_inflight),
+                    reason="inflight", retry_after=DEFAULT_RETRY_AFTER)
+            if quota.rate is not None:
+                now = self._clock()
+                self.tokens = min(
+                    quota.burst,
+                    self.tokens + (now - self.refilled_at) * quota.rate)
+                self.refilled_at = now
+                if self.tokens < cost:
+                    retry_after = (cost - self.tokens) / quota.rate
+                    _TOKENS.set(self.tokens, client=self.metric_client)
+                    _REJECTIONS.inc(client=self.metric_client,
+                                    reason="rate")
+                    raise QuotaExceededError(
+                        "client %r is over its rate quota (%.1f/s after "
+                        "a burst of %d); retry in %.2fs"
+                        % (client, quota.rate, quota.burst, retry_after),
+                        reason="rate", retry_after=retry_after)
+                self.tokens -= cost
+                _TOKENS.set(self.tokens, client=self.metric_client)
+            self.inflight += cost
+            _INFLIGHT.inc(cost, client=self.metric_client)
+        return QuotaLease(self, cost)
+
+    def release(self, cost):
+        with self._lock:
+            self.inflight -= cost
+            _INFLIGHT.dec(cost, client=self.metric_client)
+
+    def stats_dict(self):
+        with self._lock:
+            return {"quota": self.quota.to_dict(),
+                    "tokens": (round(self.tokens, 3)
+                               if self.quota.rate is not None else None),
+                    "inflight": self.inflight}
+
+
+class QuotaManager:
+    """Per-client admission control: ``default`` applies to every client,
+    ``overrides`` (client name -> :class:`ClientQuota`) replace its axes
+    per client. Buckets materialize lazily per identity; metric labels
+    stay bounded (*known* clients — override names plus any extra names
+    the caller configures, e.g. every API-key client — label verbatim,
+    everything else :data:`METRIC_CLIENT_OTHER`). *clock* is injectable
+    for tests (monotonic seconds)."""
+
+    def __init__(self, default=None, overrides=None, known=None,
+                 clock=time.monotonic):
+        self.default = default if default is not None else ClientQuota()
+        self.overrides = dict(overrides or {})
+        self.known = set(self.overrides) | set(known or ())
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets = {}
+
+    def quota_for(self, client):
+        return self.default.merged(self.overrides.get(client))
+
+    def metric_label(self, client):
+        """Bounded-cardinality ``client`` label: configured names
+        verbatim, anything else :data:`METRIC_CLIENT_OTHER`."""
+        return client if client in self.known else METRIC_CLIENT_OTHER
+
+    def _bucket(self, client):
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = _ClientBucket(
+                    self.quota_for(client), self.metric_label(client),
+                    self._clock)
+            return bucket
+
+    def admit(self, client, cost=1):
+        """Admit *cost* in-flight misses for *client* (consuming *cost*
+        bucket tokens) or raise
+        :class:`~repro.errors.QuotaExceededError`. Returns a
+        :class:`QuotaLease`; release it when the miss wait ends —
+        success, failure, or timeout alike — so the in-flight cap always
+        returns to zero."""
+        client = client or "<unknown>"
+        if cost <= 0:
+            return _FREE_LEASE
+        quota = self.quota_for(client)
+        if quota.unlimited:
+            return _FREE_LEASE
+        return self._bucket(client).admit(client, cost)
+
+    def inflight(self, client):
+        bucket = self._buckets.get(client)
+        return 0 if bucket is None else bucket.stats_dict()["inflight"]
+
+    def total_inflight(self):
+        with self._lock:
+            buckets = list(self._buckets.values())
+        return sum(bucket.stats_dict()["inflight"] for bucket in buckets)
+
+    def stats_dict(self):
+        """JSON-able per-client snapshot (the ``quota`` block of
+        ``GET /cache/info``)."""
+        with self._lock:
+            buckets = sorted(self._buckets.items())
+        return {"default": self.default.to_dict(),
+                "clients": {client: bucket.stats_dict()
+                            for client, bucket in buckets}}
+
+
+# -- API-key authentication ---------------------------------------------------
+
+class ApiKey:
+    """One key's identity: the secret, the client name it maps to, and
+    an optional per-client :class:`ClientQuota` override."""
+
+    __slots__ = ("key", "client", "quota")
+
+    def __init__(self, key, client, quota=None):
+        self.key = key
+        self.client = client
+        self.quota = quota
+
+
+def _quota_from_entry(entry, where):
+    axes = {"rate": entry.get("rate"), "burst": entry.get("burst"),
+            "max_inflight": entry.get("max_inflight")}
+    if all(value is None for value in axes.values()):
+        return None
+    try:
+        return ClientQuota(**axes)
+    except ReproError as exc:
+        raise ReproError("%s: %s" % (where, exc))
+
+
+def load_api_keys(path):
+    """Parse an ``--api-keys-file``: a JSON object mapping each API key
+    to either a client-name string or an object with ``client`` plus
+    optional ``rate``/``burst``/``max_inflight`` quota overrides::
+
+        {
+          "k-alice-f3a9": {"client": "alice", "rate": 20, "burst": 40},
+          "k-batch-77c1": {"client": "batch", "max_inflight": 2},
+          "k-probe-0d55": "probe"
+        }
+
+    Returns ``{key: ApiKey}``. Raises :class:`~repro.errors.ReproError`
+    on unreadable files, non-object JSON, empty keys/client names, or
+    malformed quota values — a serve tier must fail to *start* on a bad
+    keys file, not fail open at request time.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ReproError("cannot read api-keys file %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise ReproError("api-keys file %s is not valid JSON: %s"
+                         % (path, exc))
+    if not isinstance(data, dict) or not data:
+        raise ReproError("api-keys file %s must be a non-empty JSON "
+                         "object mapping key -> client" % path)
+    keys = {}
+    for key, entry in data.items():
+        if not isinstance(key, str) or not key.strip():
+            raise ReproError("api-keys file %s: empty API key" % path)
+        if isinstance(entry, str):
+            entry = {"client": entry}
+        if not isinstance(entry, dict):
+            raise ReproError(
+                "api-keys file %s: entry for key %r must be a client "
+                "name or an object, not %r" % (path, key[:8], entry))
+        unknown = sorted(set(entry) - {"client", "rate", "burst",
+                                       "max_inflight"})
+        if unknown:
+            raise ReproError("api-keys file %s: unknown field(s) %s for "
+                             "key %r" % (path, ", ".join(unknown), key[:8]))
+        client = entry.get("client")
+        if not isinstance(client, str) or not client.strip():
+            raise ReproError("api-keys file %s: key %r needs a non-empty "
+                             "client name" % (path, key[:8]))
+        keys[key] = ApiKey(key, client.strip(),
+                           _quota_from_entry(entry, "api-keys file %s "
+                                             "key %r" % (path, key[:8])))
+    return keys
+
+
+class ApiKeyAuth:
+    """Constant-time API-key lookup over a ``{key: ApiKey}`` map.
+
+    :meth:`authenticate` compares the presented key against **every**
+    known key with :func:`hmac.compare_digest` and never exits early, so
+    response timing leaks neither which key prefix matched nor whether
+    any did.
+    """
+
+    def __init__(self, keys):
+        if not keys:
+            raise ReproError("ApiKeyAuth needs at least one key")
+        self._keys = dict(keys)
+
+    def __len__(self):
+        return len(self._keys)
+
+    @property
+    def clients(self):
+        return sorted({record.client for record in self._keys.values()})
+
+    def quota_overrides(self):
+        """client name -> :class:`ClientQuota` for every key that carries
+        one (feeds :class:`QuotaManager` overrides, which also bounds the
+        metric labels to configured client names)."""
+        return {record.client: record.quota
+                for record in self._keys.values()
+                if record.quota is not None}
+
+    def authenticate(self, presented):
+        """Return the matching :class:`ApiKey` or raise
+        :class:`~repro.errors.AuthError` (missing and wrong keys get the
+        same message — don't tell an attacker which failure they hit)."""
+        presented = presented or ""
+        matched = None
+        for key, record in self._keys.items():
+            if hmac.compare_digest(presented.encode("utf-8"),
+                                   key.encode("utf-8")):
+                matched = record
+        if matched is None:
+            raise AuthError("missing or invalid API key (send "
+                            "X-Repro-Api-Key; /healthz and /metrics "
+                            "need no key)")
+        return matched

@@ -56,9 +56,20 @@ Figure *builds* stay serialized behind one dedicated executor (a figure
 is a whole tuning campaign, not a point), but warm figures answer
 lock-free. Shutdown drains: queued and in-flight misses finish before
 the process exits, so a killed service never tears a cache write.
+
+Multi-tenant hardening: a :class:`~repro.harness.quota.QuotaManager`
+(``--quota-rps``/``--quota-burst``/``--quota-max-inflight``, plus
+per-client overrides from the api-keys file) meters the *miss* path per
+client — over-quota misses 429 with a ``Retry-After`` header and
+``"retry": true``; warm hits are never metered and never touch the
+limiter lock. Client identity comes from the authenticated API key when
+``--api-keys-file`` is set (missing/unknown keys 401 everywhere except
+:data:`OPEN_ROUTES`), else the ``X-Repro-Client`` header, else the
+remote address.
 """
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -66,7 +77,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..benchmarks import get_benchmark
-from ..errors import QueueError, ReproError, ServeError
+from ..errors import (AuthError, QueueError, QuotaExceededError, ReproError,
+                      ServeError)
 from ..sim.config import DeviceConfig
 from .cache import (CACHE_VERSION, FigureArtifactCache, ResultCache,
                     encode_result, point_key)
@@ -74,6 +86,7 @@ from .figures import (figure9, figure10, figure11, figure12,
                       fixed_threshold_study, table1)
 from .metrics import REGISTRY
 from .queue import RequestScheduler
+from .quota import ApiKeyAuth
 from .sweep import (PointFailure, SweepExecutor, SweepPoint, SweepStats,
                     sweep_grid)
 from .task import Provenance, parse_priority
@@ -100,6 +113,10 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: (``--request-timeout``); past it the request 504s with ``retry: true``
 #: while the simulation continues toward the cache.
 DEFAULT_REQUEST_TIMEOUT = 300.0
+
+#: Routes that never require an API key even with ``--api-keys-file``
+#: set: liveness probes and metric scrapers must not need credentials.
+OPEN_ROUTES = ("/healthz", "/metrics")
 
 #: Variant labels whose ``+`` arrived as a space because the client did
 #: not URL-encode it (``+`` means space in a query string).
@@ -383,8 +400,22 @@ class QueryService:
     def __init__(self, cache_dir=".repro-cache", jobs=1, backend=None,
                  workers=None, worker_timeout=None, quiet=True,
                  miss_workers=2, max_pending=64,
-                 request_timeout=DEFAULT_REQUEST_TIMEOUT):
+                 request_timeout=DEFAULT_REQUEST_TIMEOUT,
+                 quota=None, api_keys=None):
         self.cache_dir = str(cache_dir) if cache_dir else None
+        #: Per-client admission control for the miss path (a
+        #: :class:`~repro.harness.quota.QuotaManager`, or None = no
+        #: quotas). Consulted only after the warm-cache pre-check misses,
+        #: so warm hits never take a quota lock.
+        self.quota = quota
+        #: Optional API-key auth (a ``{key: ApiKey}`` map or a ready
+        #: :class:`~repro.harness.quota.ApiKeyAuth`); when set, every
+        #: route except :data:`OPEN_ROUTES` requires a valid
+        #: ``X-Repro-Api-Key`` and the key's client name becomes the
+        #: request's quota/provenance identity.
+        if api_keys is not None and not isinstance(api_keys, ApiKeyAuth):
+            api_keys = ApiKeyAuth(api_keys)
+        self.auth = api_keys
         self.request_timeout = (None if request_timeout is None
                                 or request_timeout <= 0
                                 else float(request_timeout))
@@ -443,6 +474,8 @@ class QueryService:
                  "cache_dir": self.cache_dir,
                  "miss_workers": self.scheduler.workers,
                  "request_timeout": self.request_timeout,
+                 "auth": self.auth is not None,
+                 "quota": self.quota is not None,
                  "uptime_seconds": round(time.time() - self.started, 3),
                  "requests": self.requests,
                  "endpoints": list(ENDPOINTS)}, 200)
@@ -460,6 +493,8 @@ class QueryService:
                         if self.artifacts else None),
             "executor": self.executor_stats().to_dict(),
             "queue": self.scheduler.stats_dict(),
+            "quota": (self.quota.stats_dict()
+                      if self.quota is not None else None),
             "index": (self.cache.index.stats_dict()
                       if self.cache else None),
             "metrics": {"series": REGISTRY.series_count(),
@@ -473,6 +508,17 @@ class QueryService:
         ``(text, status)``; the handler serves it unserialized with
         :data:`METRICS_CONTENT_TYPE`."""
         return (REGISTRY.render(), 200)
+
+    def _admit_misses(self, context, cost):
+        """Charge *cost* cold points to the request's client before
+        anything reaches the scheduler. Returns a lease to release when
+        the miss wait ends (every exit path — result, failure, timeout —
+        so the in-flight cap can never leak). Raises
+        :class:`~repro.errors.QuotaExceededError` (HTTP 429) over quota;
+        warm hits never get here."""
+        if self.quota is None or cost <= 0:
+            return None
+        return self.quota.admit(context.get("client"), cost=cost)
 
     def _miss_wait_timeout(self, deadline, wait_deadline=None):
         """Seconds to block on a miss: the tighter of the request's
@@ -513,18 +559,28 @@ class QueryService:
         cache_state = "hit"
         if result is None:
             cache_state = "miss"
-            task = self.scheduler.submit(
-                point, priority=priority, deadline=deadline,
-                provenance=Provenance(client=context.get("client"),
-                                      request_id=context.get("request_id"),
-                                      source="point"))
-            timeout = self._miss_wait_timeout(deadline)
+            # Quota gate: misses (and only misses) are metered, before
+            # the scheduler sees the point. Over quota -> 429, nothing
+            # queued.
+            lease = self._admit_misses(context, cost=1)
             try:
-                result = self.scheduler.result(task, timeout=timeout)
-            except TimeoutError:
-                _POINT_CACHE.inc(state=cache_state)
-                return (dict(_timeout_payload(point.describe(), timeout),
-                             point=point.spec()), 504)
+                task = self.scheduler.submit(
+                    point, priority=priority, deadline=deadline,
+                    provenance=Provenance(
+                        client=context.get("client"),
+                        request_id=context.get("request_id"),
+                        source="point"))
+                timeout = self._miss_wait_timeout(deadline)
+                try:
+                    result = self.scheduler.result(task, timeout=timeout)
+                except TimeoutError:
+                    _POINT_CACHE.inc(state=cache_state)
+                    return (dict(_timeout_payload(point.describe(),
+                                                  timeout),
+                                 point=point.spec()), 504)
+            finally:
+                if lease is not None:
+                    lease.release()
         _POINT_CACHE.inc(state=cache_state)
         if isinstance(result, PointFailure):
             code = 504 if result.error == "DeadlineExceededError" else 500
@@ -605,23 +661,35 @@ class QueryService:
         if miss_indices:
             wait_deadline = (None if self.request_timeout is None
                              else time.monotonic() + self.request_timeout)
-            tasks = self.scheduler.submit_all(
-                [points[index] for index in miss_indices],
-                priority=priority, deadline=deadline,
-                provenance=Provenance(client=context.get("client"),
-                                      request_id=context.get("request_id"),
-                                      source="sweep"))
-            for index, task in zip(miss_indices, tasks):
-                timeout = self._miss_wait_timeout(deadline, wait_deadline)
-                try:
-                    results[index] = self.scheduler.result(task, timeout)
-                except TimeoutError:
-                    # Report the wait that actually expired, not
-                    # request_timeout: the request deadline may have been
-                    # the tighter bound, and with --request-timeout 0 the
-                    # budget is None entirely.
-                    return (_timeout_payload(
-                        "sweep (%d points)" % len(points), timeout), 504)
+            # Quota gate: each cold point costs one token, charged as
+            # one batch before anything is enqueued — over quota the
+            # whole request is 429 and the scheduler never sees it.
+            lease = self._admit_misses(context, cost=len(miss_indices))
+            try:
+                tasks = self.scheduler.submit_all(
+                    [points[index] for index in miss_indices],
+                    priority=priority, deadline=deadline,
+                    provenance=Provenance(
+                        client=context.get("client"),
+                        request_id=context.get("request_id"),
+                        source="sweep"))
+                for index, task in zip(miss_indices, tasks):
+                    timeout = self._miss_wait_timeout(deadline,
+                                                      wait_deadline)
+                    try:
+                        results[index] = self.scheduler.result(task,
+                                                               timeout)
+                    except TimeoutError:
+                        # Report the wait that actually expired, not
+                        # request_timeout: the request deadline may have
+                        # been the tighter bound, and with
+                        # --request-timeout 0 the budget is None entirely.
+                        return (_timeout_payload(
+                            "sweep (%d points)" % len(points),
+                            timeout), 504)
+            finally:
+                if lease is not None:
+                    lease.release()
             for index in miss_indices:
                 result = results[index]
                 if not isinstance(result, PointFailure):
@@ -742,7 +810,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
         if service is not None and not service.quiet:
             service.log("%s %s" % (self.address_string(), format % args))
 
-    def _send_bytes(self, code, blob, content_type):
+    def _send_bytes(self, code, blob, content_type, extra_headers=()):
         if code >= 400:
             # An errored request may have an unread body; never reuse
             # the connection in that state.
@@ -751,6 +819,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(blob)))
+            for name, value in extra_headers:
+                self.send_header(name, value)
             if self.close_connection:
                 self.send_header("Connection", "close")
             self.end_headers()
@@ -758,10 +828,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except OSError:
             pass                                # client hung up mid-reply
 
-    def _send(self, code, payload):
+    def _send(self, code, payload, extra_headers=()):
         blob = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
             .encode("utf-8")
-        self._send_bytes(code, blob, "application/json")
+        self._send_bytes(code, blob, "application/json", extra_headers)
 
     def _read_json_body(self):
         try:
@@ -779,12 +849,33 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServeError("body is not valid JSON: %s" % exc)
 
+    def _api_key(self):
+        """The presented API key: ``X-Repro-Api-Key``, falling back to
+        ``Authorization: Bearer <key>``."""
+        key = self.headers.get("X-Repro-Api-Key")
+        if key:
+            return key
+        authorization = self.headers.get("Authorization") or ""
+        scheme, _, value = authorization.partition(" ")
+        if scheme.lower() == "bearer":
+            return value.strip()
+        return None
+
     def _request_context(self):
         """Per-request scheduling context for the service layer: the
         ``X-Repro-*`` headers (priority class, deadline budget, request
-        id) plus the client address — the raw material for
-        :class:`~repro.harness.task.Task` provenance."""
-        return {"client": self.client_address[0],
+        id) plus the client identity — the raw material for
+        :class:`~repro.harness.task.Task` provenance and the quota
+        layer. The identity is the authenticated API key's client name
+        when auth is on, else the ``X-Repro-Client`` header, else the
+        remote address."""
+        identity = getattr(self, "_identity", None)
+        if identity is not None:
+            client = identity.client
+        else:
+            client = (self.headers.get("X-Repro-Client")
+                      or self.client_address[0])
+        return {"client": client,
                 "request_id": self.headers.get("X-Repro-Request-Id"),
                 "priority": self.headers.get("X-Repro-Priority"),
                 "deadline_ms": self.headers.get("X-Repro-Deadline-Ms")}
@@ -817,12 +908,19 @@ class _ServeHandler(BaseHTTPRequestHandler):
         service.count_request()
         route = None
         shutdown_after_send = False
+        extra_headers = ()
         started = time.perf_counter()
+        self._identity = None
         try:
             split = urlsplit(self.path)
             path = split.path.rstrip("/") or "/"
             query = {key: values[-1] for key, values in
                      parse_qs(split.query, keep_blank_values=True).items()}
+            # Auth gate: with --api-keys-file set, every route except
+            # the open ones (liveness, metrics scrape) needs a valid
+            # key; the key's client name becomes the request identity.
+            if service.auth is not None and path not in OPEN_ROUTES:
+                self._identity = service.auth.authenticate(self._api_key())
             if path == "/healthz":
                 route = "/healthz"
                 payload, code = self._only("GET", method, service.health)
@@ -869,6 +967,19 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except ServeError as exc:
             payload, code = ({"error": "ServeError",
                               "message": str(exc)}, 400)
+        except AuthError as exc:
+            payload, code = ({"error": "AuthError",
+                              "message": str(exc)}, 401)
+        except QuotaExceededError as exc:
+            # The *service* had room; this client is over its
+            # allocation. Retry-After tells it when the bucket refills.
+            payload, code = ({"error": "QuotaExceededError",
+                              "message": str(exc),
+                              "retry": True,
+                              "reason": exc.reason}, 429)
+            extra_headers = (
+                ("Retry-After",
+                 str(max(1, math.ceil(exc.retry_after)))),)
         except QueueError as exc:
             # Well-formed but unservable right now: back off and retry.
             payload, code = ({"error": type(exc).__name__,
@@ -887,7 +998,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
             # The acknowledgement must reach the client before the
             # listener stops; never reuse this connection afterwards.
             self.close_connection = True
-        self._send(code, payload)
+        self._send(code, payload, extra_headers)
         if shutdown_after_send:
             self.server.request_shutdown()
 

@@ -25,6 +25,8 @@ accepted so future tiers can slot between them.
 import threading
 import time
 
+from ..errors import PriorityError
+
 __all__ = [
     "METRIC_PRIORITY_OTHER",
     "PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW", "PRIORITY_NAMES",
@@ -49,30 +51,44 @@ _PRIORITY_LABELS = {value: name for name, value in PRIORITY_NAMES.items()}
 def parse_priority(raw):
     """Normalize a wire-level priority (name, int, int-string, or None).
 
-    Returns :data:`PRIORITY_NORMAL` for ``None``/empty. Raises
-    ``ValueError`` on anything else that is not a named class or a
-    non-negative integer.
+    Class names are case-insensitive (``"High"``, ``"LOW"``, and
+    ``"normal"`` all resolve). Returns :data:`PRIORITY_NORMAL` for
+    ``None`` (an absent header/body field). Raises
+    :class:`~repro.errors.PriorityError` (a ``ReproError`` that is also
+    a ``ValueError``) on anything that is not a named class or a
+    non-negative integer — including empty and whitespace-only strings,
+    which are a present-but-garbled value, not an omitted one.
+
+    >>> parse_priority("High"), parse_priority("LOW")
+    (0, 2)
+    >>> parse_priority("")
+    Traceback (most recent call last):
+      ...
+    repro.errors.PriorityError: invalid priority '' (empty; expected high|low|normal or a non-negative int)
     """
     if raw is None:
         return PRIORITY_NORMAL
     if isinstance(raw, bool):
-        raise ValueError("invalid priority: %r" % (raw,))
+        raise PriorityError("invalid priority: %r" % (raw,))
     if isinstance(raw, int):
         value = raw
     else:
         text = str(raw).strip().lower()
         if not text:
-            return PRIORITY_NORMAL
+            raise PriorityError(
+                "invalid priority %r (empty; expected %s or a "
+                "non-negative int)"
+                % (raw, "|".join(sorted(PRIORITY_NAMES))))
         if text in PRIORITY_NAMES:
             return PRIORITY_NAMES[text]
         try:
             value = int(text)
         except ValueError:
-            raise ValueError(
+            raise PriorityError(
                 "invalid priority %r (expected %s or a non-negative int)"
                 % (raw, "|".join(sorted(PRIORITY_NAMES))))
     if value < 0:
-        raise ValueError("invalid priority %r (must be >= 0)" % (raw,))
+        raise PriorityError("invalid priority %r (must be >= 0)" % (raw,))
     return value
 
 

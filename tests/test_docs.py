@@ -198,6 +198,21 @@ class TestServingDocs:
                 or "`%s`" % policy in text, \
                 "docs never mention prune policy %r" % policy
 
+    def test_quota_and_auth_surface_documented(self):
+        """The multi-tenant hardening surface — headers, status codes,
+        flags, file format, metrics, and the load-bench artifact — must
+        all be spelled out on the serving page."""
+        text = (DOCS / "serving.md").read_text()
+        for needle in ("429", "401", "Retry-After", "X-Repro-Client",
+                       "X-Repro-Api-Key", "QuotaExceededError",
+                       "AuthError", "--api-keys-file", "--quota-rps",
+                       "--quota-burst", "--quota-max-inflight",
+                       "token bucket", "BENCH_load.json",
+                       "repro_quota_rejections_total",
+                       "repro_quota_tokens", "repro_quota_inflight"):
+            assert needle in text, \
+                "serving.md does not document %r" % needle
+
     def test_metric_families_documented(self):
         """Every metric family the registry knows at import time is
         named in serving.md's /metrics table."""
@@ -226,10 +241,12 @@ class TestHarnessDoctests:
     @pytest.mark.parametrize("module_name", (
         "repro.harness.cache",
         "repro.harness.metrics",
+        "repro.harness.quota",
         "repro.harness.remote",
         "repro.harness.runner",
         "repro.harness.serve",
         "repro.harness.sweep",
+        "repro.harness.task",
         "repro.harness.variants",
     ))
     def test_module_doctests(self, module_name):

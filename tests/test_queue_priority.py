@@ -13,6 +13,7 @@ import time
 
 import pytest
 
+from repro.errors import PriorityError, ReproError
 from repro.harness.metrics import REGISTRY
 from repro.harness.queue import RequestScheduler
 from repro.harness.sweep import PointFailure, SweepPoint
@@ -67,13 +68,27 @@ class TestParsePriority:
         assert parse_priority("NORMAL") == PRIORITY_NORMAL
         assert parse_priority("low") == PRIORITY_LOW
         assert parse_priority(None) == PRIORITY_NORMAL
-        assert parse_priority("") == PRIORITY_NORMAL
         assert parse_priority("7") == 7
         assert parse_priority(2) == PRIORITY_LOW
 
-    @pytest.mark.parametrize("bad", ("urgent", "-1", -1, 1.5, True))
+    def test_mixed_case_names(self):
+        assert parse_priority("High") == PRIORITY_HIGH
+        assert parse_priority("LOW") == PRIORITY_LOW
+        assert parse_priority(" Normal ") == PRIORITY_NORMAL
+
+    @pytest.mark.parametrize("bad", ("urgent", "-1", -1, 1.5, True,
+                                     "", "   "))
     def test_rejects_garbage(self, bad):
+        with pytest.raises(PriorityError):
+            parse_priority(bad)
+
+    @pytest.mark.parametrize("bad", ("urgent", "", -1))
+    def test_priority_error_is_value_error_and_repro_error(self, bad):
+        # Callers that caught the old bare ValueError keep working, and
+        # the serve layer can map it under the ReproError umbrella.
         with pytest.raises(ValueError):
+            parse_priority(bad)
+        with pytest.raises(ReproError):
             parse_priority(bad)
 
     def test_labels_round_trip(self):

@@ -1,0 +1,183 @@
+"""Property-based scheduler invariants (hypothesis).
+
+Example-based tests in ``test_queue.py``/``test_queue_priority.py`` pin
+specific interleavings; this suite drives the
+:class:`~repro.harness.queue.RequestScheduler` with *randomized*
+workloads of ``submit``/``submit_all`` calls against a model and asserts
+the invariants the serving tier leans on:
+
+* **ordering** — with the worker plugged, an arbitrary mix of
+  submissions and dedup joins always drains in ``(priority, seq)``
+  order: strict FIFO within a class, upgraded tasks keep their arrival
+  seq;
+* **join monotonicity** — a dedup join may only *raise* priority and
+  only *tighten* the deadline, whatever order the joiners arrive in;
+* **conservation** — after a drain, every fresh key ran exactly once,
+  ``submitted == completed``, every duplicate submission is a recorded
+  dedup join, and the queue gauges return to zero.
+"""
+
+import threading
+import time
+
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.queue import RequestScheduler
+from repro.harness.sweep import SweepPoint
+from repro.harness.variants import TuningParams
+
+#: Small threshold pool so random workloads actually collide (dedup).
+POOL = (8, 16, 24, 32, 40, 48, 56, 64)
+#: Sentinel spec that plugs the single worker; never in POOL.
+PLUG = 99991
+
+
+def make_point(threshold):
+    """Distinct thresholds on CDP+T give distinct masked cache keys."""
+    return SweepPoint("BFS", "KRON", "CDP+T",
+                      TuningParams(threshold=threshold), scale=0.08)
+
+
+class GatedExecutor:
+    """Blocks every run until the test opens the gate; records order."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+        self.ran = []
+
+    def run_one(self, point, on_error="continue"):
+        self.entered.set()
+        assert self.gate.wait(30), "test gate never opened"
+        self.ran.append(point.params.threshold)
+        return ("result", point.params.threshold)
+
+
+#: One workload op: a single submit or an atomic batch, with a priority
+#: class drawn wide enough to cover unnamed classes too.
+single_op = st.tuples(st.just("submit"),
+                      st.lists(st.sampled_from(POOL), min_size=1,
+                               max_size=1),
+                      st.integers(min_value=0, max_value=3))
+batch_op = st.tuples(st.just("submit_all"),
+                     st.lists(st.sampled_from(POOL), min_size=1,
+                              max_size=4),
+                     st.integers(min_value=0, max_value=3))
+workloads = st.lists(st.one_of(single_op, batch_op), min_size=1,
+                     max_size=12)
+
+
+def apply_to_model(model, seq_box, op):
+    """Mirror one op onto the model: key -> [final_priority, seq]."""
+    _kind, thresholds, priority = op
+    for threshold in thresholds:
+        entry = model.get(threshold)
+        if entry is None:
+            seq_box[0] += 1
+            model[threshold] = [priority, seq_box[0]]
+        else:
+            entry[0] = min(entry[0], priority)
+
+
+def run_workload(ops):
+    """Drive a plugged single-worker scheduler with *ops*; returns
+    (executed-thresholds-in-order, model, scheduler counters)."""
+    executor = GatedExecutor()
+    scheduler = RequestScheduler([executor], max_pending=256)
+    model = {}
+    seq_box = [0]
+    try:
+        plug = scheduler.submit(make_point(PLUG))
+        assert executor.entered.wait(30)
+        # Worker is now stuck inside PLUG: every submission below stays
+        # queued, so joins/upgrades always land before execution.
+        duplicates = 0
+        for op in ops:
+            kind, thresholds, priority = op
+            if kind == "submit":
+                scheduler.submit(make_point(thresholds[0]),
+                                 priority=priority)
+            else:
+                scheduler.submit_all([make_point(t) for t in thresholds],
+                                     priority=priority)
+            # Every occurrence that does not enqueue a fresh task is a
+            # dedup join: keys that existed before the op (each
+            # occurrence joins), and repeat occurrences of a key first
+            # seen inside this batch.
+            seen_before = set(model)
+            fresh_in_op = set()
+            for threshold in thresholds:
+                if threshold in seen_before or threshold in fresh_in_op:
+                    duplicates += 1
+                else:
+                    fresh_in_op.add(threshold)
+            apply_to_model(model, seq_box, op)
+        executor.gate.set()
+        assert scheduler.close(drain=True, timeout=30)
+        stats = scheduler.stats_dict()
+        return executor.ran, model, duplicates, stats
+    finally:
+        executor.gate.set()
+        scheduler.close(drain=False, timeout=5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=workloads)
+def test_drain_order_is_priority_then_fifo(ops):
+    ran, model, _duplicates, _stats = run_workload(ops)
+    assert ran[0] == PLUG
+    expected = [threshold for threshold, (_prio, _seq) in
+                sorted(model.items(), key=lambda item: item[1])]
+    assert ran[1:] == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=workloads)
+def test_counter_conservation_after_drain(ops):
+    ran, model, duplicates, stats = run_workload(ops)
+    fresh = len(model) + 1              # + the plug task
+    assert stats["submitted"] == fresh
+    assert stats["completed"] == fresh
+    assert stats["dedup_joins"] == duplicates
+    assert len(ran) == fresh            # every fresh key ran exactly once
+    assert stats["depth"] == 0 and stats["inflight"] == 0
+    assert stats["shed"] == 0 and stats["rejected"] == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(priorities=st.lists(st.integers(min_value=0, max_value=5),
+                           min_size=1, max_size=8),
+       offsets=st.lists(st.one_of(
+           st.none(),
+           st.floats(min_value=10.0, max_value=100.0)),
+           min_size=1, max_size=8))
+def test_join_never_downgrades_priority_or_loosens_deadline(priorities,
+                                                            offsets):
+    executor = GatedExecutor()
+    scheduler = RequestScheduler([executor], max_pending=256)
+    try:
+        plug = scheduler.submit(make_point(PLUG))
+        assert executor.entered.wait(30)
+        base = time.monotonic()
+        task = scheduler.submit(make_point(16), priority=9,
+                                deadline=base + 500.0)
+        best_priority = 9
+        best_deadline = base + 500.0
+        joiners = [(p, o) for p, o in
+                   zip(priorities, offsets + [None] * len(priorities))]
+        for priority, offset in joiners:
+            deadline = None if offset is None else base + offset
+            joined = scheduler.submit(make_point(16), priority=priority,
+                                      deadline=deadline)
+            assert joined is task
+            best_priority = min(best_priority, priority)
+            if deadline is not None:
+                best_deadline = min(best_deadline, deadline)
+            assert task.priority == best_priority
+            assert task.deadline == best_deadline
+        executor.gate.set()
+        assert scheduler.close(drain=True, timeout=30)
+        assert scheduler.dedup_joins == len(joiners)
+    finally:
+        executor.gate.set()
+        scheduler.close(drain=False, timeout=5)
